@@ -1,0 +1,176 @@
+package repro
+
+// The repository-level benchmarks regenerate the quantities of every table
+// and figure in the paper's evaluation section, one benchmark per
+// experiment (see DESIGN.md §4 for the index and EXPERIMENTS.md for
+// paper-vs-measured results):
+//
+//	BenchmarkFig4WeakScaling    — §III.A, Figure 4: the core p4est algorithms
+//	BenchmarkFig5Advection      — §III.B, Figure 5: dynamic-AMR dG advection
+//	BenchmarkFig7Mantle         — §IV.A, Figure 7: mantle-flow runtime split
+//	BenchmarkFig9StrongScaling  — §IV.B, Figure 9: seismic wave propagation
+//	BenchmarkFig10Device        — §IV.B, Figure 10: single-precision device
+//
+// Benchmarks report the paper's metrics via b.ReportMetric; the cmd/ tools
+// print the same data as tables. Rank counts are goroutines (the host
+// serializes them), so scaling metrics are normalized per octant/element —
+// see internal/experiments for the exact efficiency semantics.
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/advect"
+	"repro/internal/experiments"
+	"repro/internal/rhea"
+	"repro/internal/seismic"
+)
+
+// BenchmarkFig4WeakScaling runs the six-octree fractal workload of Figure 4
+// at 1, 8, and 64 emulated ranks (8x octants per step, constant octants per
+// rank) and reports the normalized Balance and Nodes costs whose flatness
+// is the paper's headline weak-scaling result.
+func BenchmarkFig4WeakScaling(b *testing.B) {
+	cases := []struct {
+		ranks int
+		level int8
+	}{
+		{1, 0},
+		{8, 1},
+		{64, 2},
+	}
+	var base float64
+	for _, tc := range cases {
+		b.Run(fmt.Sprintf("ranks%d", tc.ranks), func(b *testing.B) {
+			var row experiments.Fig4Row
+			for i := 0; i < b.N; i++ {
+				row = experiments.RunFig4(tc.ranks, tc.level)
+			}
+			b.ReportMetric(float64(row.Octants), "octants")
+			b.ReportMetric(row.BalNorm, "balance-s/Moct")
+			b.ReportMetric(row.NodesNorm, "nodes-s/Moct")
+			tot := row.TotalAMRSec()
+			if tot > 0 {
+				b.ReportMetric(100*(row.BalSec+row.NodesSec)/tot, "balance+nodes-%")
+			}
+			norm := row.BalNorm + row.NodesNorm
+			if base == 0 {
+				base = norm
+			} else if norm > 0 {
+				b.ReportMetric(100*base/norm, "par-eff-%")
+			}
+		})
+	}
+}
+
+// BenchmarkFig5Advection runs the dynamically adapted dG advection solve of
+// Figure 5 (order-3 elements on the 24-octree shell, adapt+repartition
+// every few steps) and reports the AMR-overhead percentage and the
+// normalized end-to-end cost.
+func BenchmarkFig5Advection(b *testing.B) {
+	opts := advect.DefaultOptions()
+	opts.Level = 1
+	opts.MaxLevel = 3
+	var base float64
+	for _, ranks := range []int{1, 4} {
+		b.Run(fmt.Sprintf("ranks%d", ranks), func(b *testing.B) {
+			var row experiments.Fig5Row
+			for i := 0; i < b.N; i++ {
+				row = experiments.RunFig5(ranks, opts, 8, 4)
+			}
+			b.ReportMetric(float64(row.Elements), "elements")
+			b.ReportMetric(row.AMRPercent, "amr-%")
+			b.ReportMetric(row.NormPerStep*1e6, "us/step/elem")
+			b.ReportMetric(row.ShippedPct, "shipped-%")
+			if base == 0 {
+				base = row.NormPerStep
+			} else if row.NormPerStep > 0 {
+				b.ReportMetric(100*base/row.NormPerStep, "par-eff-%")
+			}
+		})
+	}
+}
+
+// BenchmarkFig7Mantle runs the adaptive nonlinear mantle-flow solve of the
+// Figure 7 table and reports the solve / V-cycle / AMR runtime split (the
+// paper: AMR is about a tenth of a percent, V-cycle dominates).
+func BenchmarkFig7Mantle(b *testing.B) {
+	opts := rhea.DefaultOptions()
+	opts.MaxLevel = 3
+	for _, ranks := range []int{1, 2} {
+		b.Run(fmt.Sprintf("ranks%d", ranks), func(b *testing.B) {
+			var row experiments.Fig7Row
+			for i := 0; i < b.N; i++ {
+				row = experiments.RunFig7(ranks, opts)
+			}
+			b.ReportMetric(row.Report.SolvePct, "solve-%")
+			b.ReportMetric(row.Report.VcyclePct, "vcycle-%")
+			b.ReportMetric(row.Report.AMRPct, "amr-%")
+			b.ReportMetric(float64(row.Report.Elements), "elements")
+			b.ReportMetric(float64(row.Report.MinresIters), "minres-iters")
+		})
+	}
+}
+
+// BenchmarkFig9StrongScaling runs the global seismic wave propagation of
+// the Figure 9 table: fixed PREM-adapted earth mesh, rank count swept, and
+// reports meshing time, wave-propagation time per step, strong-scaling
+// efficiency (flat wall time on the serialized host), and GFlop/s from
+// hand-counted operations.
+func BenchmarkFig9StrongScaling(b *testing.B) {
+	opts := seismic.DefaultOptions()
+	opts.Degree = 3
+	opts.MaxLevel = 3
+	opts.FreqHz = 0.0015
+	var base float64
+	for _, ranks := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("ranks%d", ranks), func(b *testing.B) {
+			var row experiments.Fig9Row
+			for i := 0; i < b.N; i++ {
+				row = experiments.RunFig9(ranks, opts, 3)
+			}
+			b.ReportMetric(float64(row.Elements), "elements")
+			b.ReportMetric(row.MeshingSec, "meshing-s")
+			b.ReportMetric(row.WavePerStep, "waveprop-s/step")
+			b.ReportMetric(row.GFlops, "GFlop/s")
+			if base == 0 {
+				base = row.WavePerStep
+			} else if row.WavePerStep > 0 {
+				b.ReportMetric(100*base/row.WavePerStep, "par-eff-%")
+			}
+		})
+	}
+}
+
+// BenchmarkFig10Device runs the single-precision device backend of the
+// Figure 10 table in weak scaling (elements grow with device count via the
+// meshing frequency) and reports mesh time, host-to-device transfer time,
+// and the paper's normalized microseconds per step per element.
+func BenchmarkFig10Device(b *testing.B) {
+	opts := seismic.DefaultOptions()
+	opts.Degree = 3
+	opts.MaxLevel = 3
+	opts.FreqHz = 0.0012
+	var base float64
+	for _, devices := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("devices%d", devices), func(b *testing.B) {
+			o := opts
+			o.FreqHz = opts.FreqHz * math.Cbrt(float64(devices))
+			var row experiments.Fig10Row
+			for i := 0; i < b.N; i++ {
+				row = experiments.RunFig10(devices, o, 3)
+			}
+			b.ReportMetric(float64(row.Elements), "elements")
+			b.ReportMetric(row.MeshSec, "mesh-s")
+			b.ReportMetric(row.TransferSec, "transfer-s")
+			b.ReportMetric(row.WaveUsPerElt, "us/step/elem")
+			b.ReportMetric(row.GFlops, "GFlop/s")
+			if base == 0 {
+				base = row.WaveUsPerElt
+			} else if row.WaveUsPerElt > 0 {
+				b.ReportMetric(100*base/row.WaveUsPerElt, "par-eff-%")
+			}
+		})
+	}
+}

@@ -1,0 +1,69 @@
+// Command scaling reproduces Figure 4 of the paper: weak scaling of the
+// core forest-of-octrees algorithms (New, Refine, Partition, Balance,
+// Ghost, Nodes) on the six-octree fractal workload. Rank counts are
+// emulated by goroutines; each level increment multiplies both the octant
+// count and the rank count by eight, holding octants per rank constant.
+//
+//	go run ./cmd/scaling -base-level 1 -steps 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	baseLevel := flag.Int("base-level", 1, "refinement level of the smallest run")
+	baseRanks := flag.Int("base-ranks", 1, "rank count of the smallest run")
+	steps := flag.Int("steps", 3, "number of 8x weak-scaling steps")
+	flag.Parse()
+
+	fmt.Println("Figure 4: weak scaling of forest-of-octrees AMR algorithms")
+	fmt.Println("(six-octree forest, fractal refinement of children 0,3,5,6)")
+	fmt.Println()
+	fmt.Printf("%8s %7s %12s %10s | %8s %8s %8s %8s %8s %8s | %12s %12s\n",
+		"ranks", "level", "octants", "oct/rank",
+		"new", "refine", "part", "balance", "ghost", "nodes",
+		"bal s/Moct", "nodes s/Moct")
+
+	var rows []experiments.Fig4Row
+	for i := 0; i < *steps; i++ {
+		ranks := *baseRanks
+		for j := 0; j < i; j++ {
+			ranks *= 8
+		}
+		level := int8(*baseLevel + i)
+		row := experiments.RunFig4(ranks, level)
+		rows = append(rows, row)
+		fmt.Printf("%8d %7d %12d %10.0f | %8.4f %8.4f %8.4f %8.4f %8.4f %8.4f | %12.3f %12.3f\n",
+			row.Ranks, row.Level, row.Octants, row.PerRank*1e6,
+			row.NewSec, row.RefineSec, row.PartSec, row.BalSec, row.GhostSec, row.NodesSec,
+			row.BalNorm, row.NodesNorm)
+	}
+
+	fmt.Println()
+	fmt.Println("Runtime shares (the paper: Balance and Nodes consume over 90%):")
+	for _, r := range rows {
+		tot := r.TotalAMRSec()
+		if tot == 0 {
+			continue
+		}
+		fmt.Printf("  ranks %6d: balance %5.1f%%  nodes %5.1f%%  partition %5.1f%%  ghost %5.1f%%  new+refine %5.1f%%\n",
+			r.Ranks, 100*r.BalSec/tot, 100*r.NodesSec/tot, 100*r.PartSec/tot,
+			100*r.GhostSec/tot, 100*(r.NewSec+r.RefineSec)/tot)
+	}
+	fmt.Println()
+	fmt.Println("Parallel efficiency vs the smallest run (normalized Balance+Nodes):")
+	base := rows[0].BalNorm + rows[0].NodesNorm
+	for _, r := range rows {
+		cur := r.BalNorm + r.NodesNorm
+		if cur == 0 {
+			continue
+		}
+		fmt.Printf("  ranks %6d: %5.1f%%\n", r.Ranks, 100*base/cur)
+	}
+	os.Exit(0)
+}

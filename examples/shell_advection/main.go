@@ -1,0 +1,75 @@
+// Shell advection: the paper's §III.B benchmark as a runnable example.
+// Four spherical fronts advect around the 24-octree spherical shell under
+// solid-body rotation; every few steps the mesh is coarsened behind the
+// fronts, refined ahead of them, 2:1-balanced, and repartitioned with the
+// dG solution transferred between meshes. Snapshots of the adapted mesh
+// and the concentration field are written to VTK.
+//
+//	go run ./examples/shell_advection
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/advect"
+	"repro/internal/mpi"
+	"repro/internal/vtk"
+)
+
+func main() {
+	const (
+		ranks      = 4
+		steps      = 24
+		adaptEvery = 6
+	)
+	opts := advect.DefaultOptions()
+	opts.Level = 1
+	opts.MaxLevel = 4
+
+	mpi.Run(ranks, func(c *mpi.Comm) {
+		s := advect.NewShell(c, opts)
+		if c.Rank() == 0 {
+			fmt.Printf("initial mesh: %d tricubic elements (%d unknowns)\n",
+				s.F.NumGlobal(), s.F.NumGlobal()*int64(s.Mesh.Np))
+		}
+		writeSnapshot(s, "advect_t0.vtk")
+
+		mass0 := s.Mass()
+		dt := s.DT()
+		for step := 1; step <= steps; step++ {
+			s.Step(dt)
+			if step%adaptEvery == 0 {
+				if s.Adapt() {
+					dt = s.DT()
+				}
+				if c.Rank() == 0 {
+					fmt.Printf("step %3d  t=%.4f  elements=%d\n", step, s.Time, s.F.NumGlobal())
+				}
+			}
+		}
+		writeSnapshot(s, "advect_t1.vtk")
+
+		mass1 := s.Mass()
+		err := s.ErrorVsExact()
+		if c.Rank() == 0 {
+			fmt.Printf("mass drift: %.3e (relative)\n", (mass1-mass0)/mass0)
+			fmt.Printf("L2 error vs exact rotated solution: %.3e\n", err)
+			fmt.Println("wrote advect_t0.vtk / advect_t1.vtk (color by 'C' and 'level')")
+		}
+	})
+}
+
+func writeSnapshot(s *advect.Solver, path string) {
+	// Cell average of the concentration per element.
+	vals := make([]float64, s.Mesh.NumLocal)
+	for e := 0; e < s.Mesh.NumLocal; e++ {
+		var sum float64
+		for n := 0; n < s.Mesh.Np; n++ {
+			sum += s.C[e*s.Mesh.Np+n]
+		}
+		vals[e] = sum / float64(s.Mesh.Np)
+	}
+	if err := vtk.WriteGathered(path, s.F, vtk.CellField{Name: "C", Values: vals}); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,423 @@
+// Package advect implements the paper's dynamic-AMR benchmark application
+// (§III.B): the time-dependent advection equation dC/dt + u . grad C = 0,
+// discretized with an upwind nodal discontinuous Galerkin method on
+// tensor-product LGL points and integrated with the five-stage fourth-order
+// low-storage Runge-Kutta scheme, on a dynamically refined, coarsened, and
+// repartitioned forest-of-octrees mesh of the spherical shell.
+package advect
+
+import (
+	"math"
+
+	"repro/internal/connectivity"
+	"repro/internal/core"
+	"repro/internal/mangll"
+	"repro/internal/metrics"
+	"repro/internal/mpi"
+	"repro/internal/octant"
+)
+
+// Options configure the advection solver.
+type Options struct {
+	Degree     int     // polynomial degree (paper uses 3, "tricubic")
+	Level      int8    // initial uniform refinement level
+	MaxLevel   int8    // finest allowed refinement level
+	Omega      float64 // solid-body rotation rate about the z axis
+	CFL        float64
+	RefineTol  float64 // refine elements whose indicator exceeds this
+	CoarsenTol float64 // coarsen elements whose indicator falls below this
+	// CentralFlux switches the interface flux from upwind (the paper's
+	// choice) to the energy-neutral central flux — an ablation that shows
+	// why the upwind flux is used: central is non-dissipative but admits
+	// spurious oscillations at underresolved fronts.
+	CentralFlux bool
+}
+
+// DefaultOptions returns the configuration used by the Figure 5 runs.
+func DefaultOptions() Options {
+	return Options{
+		Degree: 3, Level: 2, MaxLevel: 6,
+		Omega: 1, CFL: 0.4, RefineTol: 0.08, CoarsenTol: 0.015,
+	}
+}
+
+// Solver is a distributed dG advection solver on the spherical shell.
+type Solver struct {
+	Opts Options
+	Comm *mpi.Comm
+	Conn *connectivity.Conn
+	F    *core.Forest
+	Mesh *mangll.Mesh
+	LGL  *mangll.LGL
+	C    []float64 // solution nodal values, local elements only
+	Time float64
+	Met  *metrics.Registry
+
+	rk  mangll.LSRK45
+	cv  [3][]float64 // contravariant velocity J grad(xi_a) . u at local nodes
+	buf []float64    // local+ghost work array
+
+	velFn func(x, y, z float64) (float64, float64, float64)
+	icFn  func(x, y, z float64) float64
+}
+
+// NewShell creates a solver on the 24-tree spherical shell with four
+// advecting spherical fronts as the initial condition, as in §III.B.
+func NewShell(comm *mpi.Comm, opts Options) *Solver {
+	return NewCustom(comm, connectivity.Shell(0.55, 1.0), opts, nil, nil)
+}
+
+// NewCustom creates a solver on an arbitrary connectivity with optional
+// caller-provided velocity and initial-condition fields (nil selects the
+// §III.B defaults: solid-body rotation and the four spherical fronts).
+// The velocity must have zero normal component on any domain boundary.
+func NewCustom(comm *mpi.Comm, conn *connectivity.Conn, opts Options,
+	vel func(x, y, z float64) (float64, float64, float64),
+	ic func(x, y, z float64) float64) *Solver {
+	s := &Solver{
+		Opts: opts, Comm: comm, Conn: conn,
+		LGL:   mangll.NewLGL(opts.Degree),
+		Met:   metrics.NewRegistry(),
+		velFn: vel, icFn: ic,
+	}
+	stop := s.Met.Start("amr")
+	s.F = core.New(comm, conn, opts.Level)
+	s.F.Balance(core.BalanceFull)
+	s.F.Partition()
+	s.rebuild()
+	stop()
+	s.C = make([]float64, s.Mesh.NumLocal*s.Mesh.Np)
+	s.project(s.InitialCondition)
+	// Resolve the initial fronts before starting, re-sampling the initial
+	// condition on each refined mesh.
+	for i := 0; i < int(opts.MaxLevel-opts.Level); i++ {
+		changed := s.Adapt()
+		s.C = make([]float64, s.Mesh.NumLocal*s.Mesh.Np)
+		s.project(s.InitialCondition)
+		if !changed {
+			break
+		}
+	}
+	return s
+}
+
+// InitialCondition evaluates the initial concentration field: the custom
+// field if one was provided, else four spherical fronts placed mid-shell,
+// 90 degrees apart around the rotation axis.
+func (s *Solver) InitialCondition(x, y, z float64) float64 {
+	if s.icFn != nil {
+		return s.icFn(x, y, z)
+	}
+	const r0 = 0.775 // mid-shell radius
+	centers := [4][3]float64{
+		{r0, 0, 0}, {0, r0, 0}, {-r0, 0, 0}, {0, -r0, 0},
+	}
+	var c float64
+	const sigma = 0.12
+	for _, ctr := range centers {
+		dx, dy, dz := x-ctr[0], y-ctr[1], z-ctr[2]
+		d2 := dx*dx + dy*dy + dz*dz
+		c += math.Exp(-d2 / (2 * sigma * sigma))
+	}
+	return c
+}
+
+// Velocity is the advecting flow: the custom field if one was provided,
+// else solid-body rotation about the z axis, which is divergence-free and
+// tangential to the shell boundaries.
+func (s *Solver) Velocity(x, y, z float64) (ux, uy, uz float64) {
+	if s.velFn != nil {
+		return s.velFn(x, y, z)
+	}
+	return -s.Opts.Omega * y, s.Opts.Omega * x, 0
+}
+
+// project sets the solution to the nodal interpolant of f.
+func (s *Solver) project(f func(x, y, z float64) float64) {
+	m := s.Mesh
+	for e := 0; e < m.NumLocal; e++ {
+		for n := 0; n < m.Np; n++ {
+			i := e*m.Np + n
+			s.C[i] = f(m.X[0][i], m.X[1][i], m.X[2][i])
+		}
+	}
+}
+
+// rebuild recreates ghost, mesh, and velocity data after the forest
+// changed.
+func (s *Solver) rebuild() {
+	g := s.F.Ghost()
+	s.Mesh = mangll.NewMesh(s.F, g, s.LGL)
+	m := s.Mesh
+	n := m.NumLocal * m.Np
+	for a := 0; a < 3; a++ {
+		s.cv[a] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		ux, uy, uz := s.Velocity(m.X[0][i], m.X[1][i], m.X[2][i])
+		for a := 0; a < 3; a++ {
+			s.cv[a][i] = m.Gi[a][0][i]*ux + m.Gi[a][1][i]*uy + m.Gi[a][2][i]*uz
+		}
+	}
+	s.buf = make([]float64, (m.NumLocal+m.NumGhost)*m.Np)
+}
+
+// MaxVelocity returns the global maximum speed (used for CFL).
+func (s *Solver) MaxVelocity() float64 {
+	m := s.Mesh
+	vmax := 0.0
+	for i := 0; i < m.NumLocal*m.Np; i++ {
+		ux, uy, uz := s.Velocity(m.X[0][i], m.X[1][i], m.X[2][i])
+		v := math.Sqrt(ux*ux + uy*uy + uz*uz)
+		if v > vmax {
+			vmax = v
+		}
+	}
+	return mpi.AllreduceMax(s.Comm, vmax)
+}
+
+// DT returns the CFL time step.
+func (s *Solver) DT() float64 {
+	vmax := s.MaxVelocity()
+	if vmax == 0 {
+		return 1e-3
+	}
+	n := float64(s.Opts.Degree)
+	return s.Opts.CFL * s.Mesh.MinLen / (vmax * (2*n + 1))
+}
+
+// RHS computes dC/dt in conservative curvilinear form:
+// dC/dt = -(1/J) sum_a d/dxi_a (cv_a C) + lift of (F.n - F*).
+func (s *Solver) RHS(c, dc []float64) {
+	m := s.Mesh
+	np := m.Np
+	copy(s.buf[:m.NumLocal*np], c)
+	s.Met.StartAdd("exchange", func() {
+		m.ExchangeGhost(1, s.buf)
+	})
+
+	// Volume term.
+	tmp := make([]float64, np)
+	fa := make([]float64, np)
+	for e := 0; e < m.NumLocal; e++ {
+		base := e * np
+		for n := range tmp {
+			tmp[n] = 0
+		}
+		for a := 0; a < 3; a++ {
+			for n := 0; n < np; n++ {
+				fa[n] = s.cv[a][base+n] * c[base+n]
+			}
+			m.ApplyD(a, fa, fa)
+			for n := 0; n < np; n++ {
+				tmp[n] += fa[n]
+			}
+		}
+		for n := 0; n < np; n++ {
+			dc[base+n] -= tmp[n] / m.Jac[base+n]
+		}
+	}
+
+	// Surface terms.
+	mine := make([]float64, m.Nf)
+	theirs := make([]float64, m.Nf)
+	unw := make([]float64, m.Nf)
+	g := make([]float64, m.Nf)
+	for li := range m.Links {
+		l := &m.Links[li]
+		if l.Kind == mangll.LinkBoundary {
+			continue // un = 0 on the shell boundaries for the rotation field
+		}
+		s.faceNormalVel(l, unw)
+		m.MyFaceValues(l, 1, 0, s.buf, mine)
+		m.FaceValues(l, 1, 0, s.buf, theirs)
+		for fn := 0; fn < m.Nf; fn++ {
+			flux := unw[fn] * mine[fn] // F . n
+			var star float64
+			switch {
+			case s.Opts.CentralFlux:
+				star = unw[fn] * (mine[fn] + theirs[fn]) / 2
+			case unw[fn] >= 0:
+				star = unw[fn] * mine[fn]
+			default:
+				star = unw[fn] * theirs[fn]
+			}
+			g[fn] = flux - star
+		}
+		m.LiftFace(l, g, dc)
+	}
+}
+
+// faceNormalVel evaluates u . areaVec at the link's flux points (my face
+// nodes, or the quadrant's fine points for a hanging face).
+func (s *Solver) faceNormalVel(l *mangll.FaceLink, out []float64) {
+	m := s.Mesh
+	e := int(l.Elem)
+	fv := make([]float64, m.Nf)
+	for fn := 0; fn < m.Nf; fn++ {
+		vn := int(m.FaceIdx[l.Face][fn])
+		i := e*m.Np + vn
+		ux, uy, uz := s.Velocity(m.X[0][i], m.X[1][i], m.X[2][i])
+		fv[fn] = ux*m.FaceArea[l.Face][0][e*m.Nf+fn] +
+			uy*m.FaceArea[l.Face][1][e*m.Nf+fn] +
+			uz*m.FaceArea[l.Face][2][e*m.Nf+fn]
+	}
+	if l.Kind == mangll.LinkToFineQuad {
+		m.InterpFaceToQuad(l, fv, out)
+		return
+	}
+	copy(out, fv)
+}
+
+// Step advances the solution by one RK step of size dt.
+func (s *Solver) Step(dt float64) {
+	stop := s.Met.Start("integrate")
+	s.rk.Step(s.C, s.Time, dt, func(tt float64, u, du []float64) {
+		s.RHS(u, du)
+	})
+	s.Time += dt
+	stop()
+}
+
+// Indicator returns the per-element adaptation indicator: the nodal value
+// range, which is large across the advecting fronts.
+func (s *Solver) Indicator() []float64 {
+	m := s.Mesh
+	ind := make([]float64, m.NumLocal)
+	for e := 0; e < m.NumLocal; e++ {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for n := 0; n < m.Np; n++ {
+			v := s.C[e*m.Np+n]
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		ind[e] = hi - lo
+	}
+	return ind
+}
+
+// Adapt performs one full dynamic-AMR cycle: mark from the indicator,
+// coarsen, refine, 2:1 balance, transfer the solution between meshes,
+// repartition (moving the solution along), and rebuild the dG mesh. It
+// returns whether the forest changed, and records the churn statistics the
+// paper quotes (fractions of elements coarsened, refined, and shipped).
+func (s *Solver) Adapt() bool {
+	stop := s.Met.Start("amr")
+	defer stop()
+	m := s.Mesh
+	ind := s.Indicator()
+	flags := make(map[octant.Octant]int8, len(ind))
+	for e, o := range s.F.Local {
+		switch {
+		case ind[e] > s.Opts.RefineTol && o.Level < s.Opts.MaxLevel:
+			flags[o] = 1
+		case ind[e] < s.Opts.CoarsenTol && o.Level > s.Opts.Level:
+			flags[o] = -1
+		}
+	}
+	before := s.F.Checksum()
+	oldLeaves := append([]octant.Octant(nil), s.F.Local...)
+
+	coarsened := 0
+	s.F.Coarsen(false, func(parent octant.Octant, kids []octant.Octant) bool {
+		for _, k := range kids {
+			if flags[k] != -1 {
+				return false
+			}
+		}
+		coarsened++
+		return true
+	})
+	refined := 0
+	s.F.Refine(false, s.Opts.MaxLevel, func(o octant.Octant) bool {
+		if flags[o] == 1 {
+			refined++
+			return true
+		}
+		return false
+	})
+	s.F.Balance(core.BalanceFull)
+	if s.F.Checksum() == before {
+		// Nothing changed: skip transfer and rebuild.
+		s.Met.AddCount("amr_unchanged", 1)
+		return false
+	}
+	s.C = m.TransferFields(oldLeaves, s.C, s.F.Local, 1)
+	newData, sent := s.F.PartitionWithData(m.Np, s.C)
+	s.C = newData
+	s.Met.AddCount("elements_shipped", sent)
+	s.Met.AddCount("elements_coarsened", int64(coarsened*8))
+	s.Met.AddCount("elements_refined", int64(refined))
+	s.rebuild()
+	return true
+}
+
+// Mass returns the global integral of C (conserved by the dG scheme up to
+// boundary flux, which vanishes for the rotation field).
+func (s *Solver) Mass() float64 {
+	m := s.Mesh
+	np1 := m.Np1
+	var sum float64
+	for e := 0; e < m.NumLocal; e++ {
+		n := 0
+		for k := 0; k < np1; k++ {
+			for j := 0; j < np1; j++ {
+				for i := 0; i < np1; i++ {
+					sum += m.L.W[i] * m.L.W[j] * m.L.W[k] * m.Jac[e*m.Np+n] * s.C[e*m.Np+n]
+					n++
+				}
+			}
+		}
+	}
+	return mpi.AllreduceSumFloat(s.Comm, sum)
+}
+
+// ErrorVsExact returns the global L2 error against the exact rotated
+// solution at the current time.
+func (s *Solver) ErrorVsExact() float64 {
+	m := s.Mesh
+	np1 := m.Np1
+	cos, sin := math.Cos(-s.Opts.Omega*s.Time), math.Sin(-s.Opts.Omega*s.Time)
+	var sum float64
+	for e := 0; e < m.NumLocal; e++ {
+		n := 0
+		for k := 0; k < np1; k++ {
+			for j := 0; j < np1; j++ {
+				for i := 0; i < np1; i++ {
+					idx := e*m.Np + n
+					x, y, z := m.X[0][idx], m.X[1][idx], m.X[2][idx]
+					xr, yr := cos*x-sin*y, sin*x+cos*y
+					d := s.C[idx] - s.InitialCondition(xr, yr, z)
+					sum += m.L.W[i] * m.L.W[j] * m.L.W[k] * m.Jac[idx] * d * d
+					n++
+				}
+			}
+		}
+	}
+	return math.Sqrt(mpi.AllreduceSumFloat(s.Comm, sum))
+}
+
+// Run advances nsteps steps, adapting every adaptEvery steps (the paper
+// uses 32). It returns the fraction of wall time spent in AMR operations,
+// the end-to-end quantity Figure 5 reports.
+func (s *Solver) Run(nsteps, adaptEvery int) (amrFraction float64) {
+	dt := s.DT()
+	for step := 1; step <= nsteps; step++ {
+		s.Step(dt)
+		if adaptEvery > 0 && step%adaptEvery == 0 {
+			if s.Adapt() {
+				dt = s.DT()
+			}
+		}
+	}
+	amr := mpi.AllreduceSumFloat(s.Comm, s.Met.Total("amr").Seconds())
+	integ := mpi.AllreduceSumFloat(s.Comm, s.Met.Total("integrate").Seconds())
+	if amr+integ == 0 {
+		return 0
+	}
+	return amr / (amr + integ)
+}

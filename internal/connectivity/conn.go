@@ -1,0 +1,318 @@
+// Package connectivity describes the static macro-level structure of a
+// forest of octrees: how K logical cubes ("trees") connect through faces,
+// edges, and corners, with arbitrary relative rotations between their
+// right-handed coordinate systems (paper §II.D).
+//
+// The macro-structure is small, static, and shared by all ranks, exactly as
+// in the paper ("the number of octrees is generally small and independent of
+// the problem size"). All inter-tree coordinate transformations are computed
+// in exact integer arithmetic.
+package connectivity
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/octant"
+)
+
+// FaceConn describes the neighbour of one tree face. Perm maps face-corner
+// indices of this face (z-order within the face, octant.FaceCorners) to
+// face-corner indices of the neighbouring face: corner i of face f of this
+// tree coincides with corner Perm[i] of face Face of tree Tree.
+type FaceConn struct {
+	Tree     int32
+	Face     int8
+	Perm     [4]int8
+	Boundary bool // true if the face lies on the domain boundary (no neighbour)
+}
+
+// EdgeMember is one (tree, edge) incidence of a macro-edge. Flip records
+// whether the tree edge's direction is reversed relative to the macro-edge's
+// reference direction.
+type EdgeMember struct {
+	Tree int32
+	Edge int8
+	Flip bool
+}
+
+// CornerMember is one (tree, corner) incidence of a macro-corner.
+type CornerMember struct {
+	Tree   int32
+	Corner int8
+}
+
+// TreePoint is a lattice point inside (or on the boundary of) a tree.
+type TreePoint struct {
+	Tree    int32
+	X, Y, Z int32
+}
+
+// Conn is an immutable forest connectivity. Construct one with the builders
+// in this package (UnitCube, Brick, SixRotCubes, Shell, Ball) or with
+// FromVertices.
+type Conn struct {
+	numTrees     int32
+	vertices     [][3]float64
+	treeToVertex [][8]int64
+
+	faces      [][6]FaceConn
+	faceXform  [][6]FaceTransform // precomputed, valid where !faces[t][f].Boundary
+	edgeGroup  [][12]int32        // group index per tree edge, -1 if none
+	edgeGroups [][]EdgeMember
+	cornGroup  [][8]int32 // group index per tree corner, -1 if none
+	cornGroups [][]CornerMember
+
+	geom Geometry
+}
+
+// NumTrees returns the number of trees in the forest.
+func (c *Conn) NumTrees() int32 { return c.numTrees }
+
+// Face returns the connection record of face f of tree t.
+func (c *Conn) Face(t int32, f int) FaceConn { return c.faces[t][f] }
+
+// FaceXform returns the coordinate transform across face f of tree t, and
+// false if that face is a domain boundary.
+func (c *Conn) FaceXform(t int32, f int) (FaceTransform, bool) {
+	if c.faces[t][f].Boundary {
+		return FaceTransform{}, false
+	}
+	return c.faceXform[t][f], true
+}
+
+// EdgeGroup returns the members of the macro-edge that tree t's edge e is
+// part of, or nil if the edge connects no other tree incidence.
+func (c *Conn) EdgeGroup(t int32, e int) []EdgeMember {
+	g := c.edgeGroup[t][e]
+	if g < 0 {
+		return nil
+	}
+	return c.edgeGroups[g]
+}
+
+// CornerGroup returns the members of the macro-corner that tree t's corner k
+// is part of, or nil if the corner connects no other tree incidence.
+func (c *Conn) CornerGroup(t int32, k int) []CornerMember {
+	g := c.cornGroup[t][k]
+	if g < 0 {
+		return nil
+	}
+	return c.cornGroups[g]
+}
+
+// Geometry returns the diffeomorphic mapping from tree reference coordinates
+// to physical space. As in p4est, the geometry is used only for
+// visualization and by the PDE solver; topology never consults it.
+func (c *Conn) Geometry() Geometry { return c.geom }
+
+// SetGeometry replaces the geometry mapping.
+func (c *Conn) SetGeometry(g Geometry) { c.geom = g }
+
+// Vertices returns the physical corner positions of the macro mesh (may be
+// nil for purely logical connectivities).
+func (c *Conn) Vertices() [][3]float64 { return c.vertices }
+
+// TreeToVertex returns the vertex ids of tree t's corners in z-order.
+func (c *Conn) TreeToVertex(t int32) [8]int64 { return c.treeToVertex[t] }
+
+// cornerCoord returns the lattice coordinates of tree corner k.
+func cornerCoord(k int) [3]int32 {
+	var p [3]int32
+	if k&1 != 0 {
+		p[0] = octant.RootLen
+	}
+	if k&2 != 0 {
+		p[1] = octant.RootLen
+	}
+	if k&4 != 0 {
+		p[2] = octant.RootLen
+	}
+	return p
+}
+
+// FromVertices builds a connectivity from per-tree corner vertex ids
+// (z-order). Trees sharing the same 4 vertex ids on a face become face
+// neighbours; shared vertex pairs define macro-edges and shared single
+// vertices macro-corners. Vertex positions (optional, may be nil) define the
+// trilinear geometry. Vertex ids on any single face must be distinct.
+//
+// This reproduces the generality of the paper's scheme: any macro-edge and
+// macro-corner may be shared by an arbitrary number of trees, and any two
+// faces may meet in any of the four relative rotations.
+func FromVertices(treeToVertex [][8]int64, positions [][3]float64) (*Conn, error) {
+	n := int32(len(treeToVertex))
+	if n == 0 {
+		return nil, fmt.Errorf("connectivity: no trees")
+	}
+	c := &Conn{
+		numTrees:     n,
+		vertices:     positions,
+		treeToVertex: treeToVertex,
+		faces:        make([][6]FaceConn, n),
+		faceXform:    make([][6]FaceTransform, n),
+		edgeGroup:    make([][12]int32, n),
+		cornGroup:    make([][8]int32, n),
+	}
+	for t := range c.edgeGroup {
+		for e := range c.edgeGroup[t] {
+			c.edgeGroup[t][e] = -1
+		}
+		for k := range c.cornGroup[t] {
+			c.cornGroup[t][k] = -1
+		}
+	}
+
+	// Face matching: group (tree, face) incidences by their sorted vertex
+	// id tuples.
+	type incid struct {
+		tree int32
+		face int8
+	}
+	faceMap := make(map[[4]int64][]incid)
+	for t := int32(0); t < n; t++ {
+		for f := 0; f < 6; f++ {
+			var key [4]int64
+			for i, fc := range octant.FaceCorners[f] {
+				key[i] = treeToVertex[t][fc]
+			}
+			sort.Slice(key[:], func(i, j int) bool { return key[i] < key[j] })
+			if key[0] == key[1] || key[1] == key[2] || key[2] == key[3] {
+				return nil, fmt.Errorf("connectivity: tree %d face %d has repeated vertex ids %v", t, f, key)
+			}
+			faceMap[key] = append(faceMap[key], incid{t, int8(f)})
+		}
+	}
+	for key, inc := range faceMap {
+		switch len(inc) {
+		case 1:
+			t, f := inc[0].tree, inc[0].face
+			c.faces[t][f] = FaceConn{Tree: t, Face: f, Boundary: true}
+		case 2:
+			for s := 0; s < 2; s++ {
+				a, b := inc[s], inc[1-s]
+				fc := FaceConn{Tree: b.tree, Face: b.face}
+				for i, ca := range octant.FaceCorners[a.face] {
+					va := treeToVertex[a.tree][ca]
+					found := false
+					for j, cb := range octant.FaceCorners[b.face] {
+						if treeToVertex[b.tree][cb] == va {
+							fc.Perm[i] = int8(j)
+							found = true
+							break
+						}
+					}
+					if !found {
+						return nil, fmt.Errorf("connectivity: face vertex mismatch between t%df%d and t%df%d", a.tree, a.face, b.tree, b.face)
+					}
+				}
+				c.faces[a.tree][a.face] = fc
+			}
+		default:
+			return nil, fmt.Errorf("connectivity: face vertex tuple %v shared by %d faces (non-manifold)", key, len(inc))
+		}
+	}
+
+	// Precompute face transforms and validate orientation consistency.
+	for t := int32(0); t < n; t++ {
+		for f := 0; f < 6; f++ {
+			fc := c.faces[t][f]
+			if fc.Boundary {
+				continue
+			}
+			ft, err := buildFaceTransform(t, int8(f), fc)
+			if err != nil {
+				return nil, err
+			}
+			c.faceXform[t][f] = ft
+		}
+	}
+
+	// Edge matching: group incidences by sorted vertex id pairs. Groups of a
+	// single incidence carry no connectivity and are dropped.
+	type edgeIncid struct {
+		tree int32
+		edge int8
+		flip bool
+	}
+	edgeMap := make(map[[2]int64][]edgeIncid)
+	edgeKeys := make([][2]int64, 0)
+	for t := int32(0); t < n; t++ {
+		for e := 0; e < 12; e++ {
+			v0 := treeToVertex[t][octant.EdgeCorners[e][0]]
+			v1 := treeToVertex[t][octant.EdgeCorners[e][1]]
+			if v0 == v1 {
+				return nil, fmt.Errorf("connectivity: tree %d edge %d degenerate (vertex %d twice)", t, e, v0)
+			}
+			key := [2]int64{v0, v1}
+			flip := false
+			if v0 > v1 {
+				key = [2]int64{v1, v0}
+				flip = true
+			}
+			if _, seen := edgeMap[key]; !seen {
+				edgeKeys = append(edgeKeys, key)
+			}
+			edgeMap[key] = append(edgeMap[key], edgeIncid{t, int8(e), flip})
+		}
+	}
+	sort.Slice(edgeKeys, func(i, j int) bool {
+		if edgeKeys[i][0] != edgeKeys[j][0] {
+			return edgeKeys[i][0] < edgeKeys[j][0]
+		}
+		return edgeKeys[i][1] < edgeKeys[j][1]
+	})
+	for _, key := range edgeKeys {
+		inc := edgeMap[key]
+		if len(inc) < 2 {
+			continue
+		}
+		g := int32(len(c.edgeGroups))
+		members := make([]EdgeMember, len(inc))
+		for i, e := range inc {
+			members[i] = EdgeMember{Tree: e.tree, Edge: e.edge, Flip: e.flip}
+			c.edgeGroup[e.tree][e.edge] = g
+		}
+		c.edgeGroups = append(c.edgeGroups, members)
+	}
+
+	// Corner matching: group by vertex id.
+	cornMap := make(map[int64][]CornerMember)
+	cornKeys := make([]int64, 0)
+	for t := int32(0); t < n; t++ {
+		for k := 0; k < 8; k++ {
+			v := treeToVertex[t][k]
+			if _, seen := cornMap[v]; !seen {
+				cornKeys = append(cornKeys, v)
+			}
+			cornMap[v] = append(cornMap[v], CornerMember{Tree: t, Corner: int8(k)})
+		}
+	}
+	sort.Slice(cornKeys, func(i, j int) bool { return cornKeys[i] < cornKeys[j] })
+	for _, key := range cornKeys {
+		inc := cornMap[key]
+		if len(inc) < 2 {
+			continue
+		}
+		g := int32(len(c.cornGroups))
+		for _, m := range inc {
+			c.cornGroup[m.Tree][m.Corner] = g
+		}
+		c.cornGroups = append(c.cornGroups, inc)
+	}
+
+	if positions != nil {
+		c.geom = &LinearGeometry{Vertices: positions, TreeToVertex: treeToVertex}
+	}
+	return c, nil
+}
+
+// MustFromVertices is FromVertices that panics on error; for package-level
+// builders of known-good connectivities.
+func MustFromVertices(treeToVertex [][8]int64, positions [][3]float64) *Conn {
+	c, err := FromVertices(treeToVertex, positions)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

@@ -1,0 +1,134 @@
+package connectivity
+
+import (
+	"math"
+
+	"repro/internal/octant"
+)
+
+// Geometry maps tree reference coordinates to physical space. Reference
+// coordinates xi lie in [0,1]^3 per tree. As in the paper, the geometry is a
+// smooth (diffeomorphic) image of each reference cube, used only by
+// visualization and the PDE solver; all topology stays integer-based.
+type Geometry interface {
+	X(tree int32, xi [3]float64) [3]float64
+}
+
+// RefCoord converts a lattice coordinate to a reference coordinate in [0,1].
+func RefCoord(v int32) float64 {
+	return float64(v) / float64(octant.RootLen)
+}
+
+// OctantCenter returns the physical position of an octant's center.
+func OctantCenter(g Geometry, o octant.Octant) [3]float64 {
+	h := float64(o.Len()) / float64(octant.RootLen) / 2
+	return g.X(o.Tree, [3]float64{RefCoord(o.X) + h, RefCoord(o.Y) + h, RefCoord(o.Z) + h})
+}
+
+// LinearGeometry maps each tree trilinearly from its 8 corner vertices.
+type LinearGeometry struct {
+	Vertices     [][3]float64
+	TreeToVertex [][8]int64
+}
+
+// X implements Geometry.
+func (g *LinearGeometry) X(tree int32, xi [3]float64) [3]float64 {
+	var out [3]float64
+	for c := 0; c < 8; c++ {
+		w := 1.0
+		for a := 0; a < 3; a++ {
+			if c>>a&1 != 0 {
+				w *= xi[a]
+			} else {
+				w *= 1 - xi[a]
+			}
+		}
+		v := g.Vertices[g.TreeToVertex[tree][c]]
+		for a := 0; a < 3; a++ {
+			out[a] += w * v[a]
+		}
+	}
+	return out
+}
+
+// cube face frames used by the shell and ball builders: outward normal n and
+// tangents u, v chosen so that u x v = n (right-handed local frames).
+type faceFrame struct {
+	n, u, v [3]float64
+}
+
+var cubeFrames = [6]faceFrame{
+	{n: [3]float64{1, 0, 0}, u: [3]float64{0, 1, 0}, v: [3]float64{0, 0, 1}},  // +x
+	{n: [3]float64{-1, 0, 0}, u: [3]float64{0, 0, 1}, v: [3]float64{0, 1, 0}}, // -x
+	{n: [3]float64{0, 1, 0}, u: [3]float64{0, 0, 1}, v: [3]float64{1, 0, 0}},  // +y
+	{n: [3]float64{0, -1, 0}, u: [3]float64{1, 0, 0}, v: [3]float64{0, 0, 1}}, // -y
+	{n: [3]float64{0, 0, 1}, u: [3]float64{1, 0, 0}, v: [3]float64{0, 1, 0}},  // +z
+	{n: [3]float64{0, 0, -1}, u: [3]float64{0, 1, 0}, v: [3]float64{1, 0, 0}}, // -z
+}
+
+func addScaled(p [3]float64, s float64, d [3]float64) [3]float64 {
+	return [3]float64{p[0] + s*d[0], p[1] + s*d[1], p[2] + s*d[2]}
+}
+
+func normalize(p [3]float64) [3]float64 {
+	r := math.Sqrt(p[0]*p[0] + p[1]*p[1] + p[2]*p[2])
+	return [3]float64{p[0] / r, p[1] / r, p[2] / r}
+}
+
+func scale(s float64, p [3]float64) [3]float64 {
+	return [3]float64{s * p[0], s * p[1], s * p[2]}
+}
+
+// ShellGeometry is the analytic equiangular cubed-sphere mapping of the
+// 24-tree spherical shell (paper §III.B and §IV.A: "the spherical shell
+// domain is split into six caps ... each cap is further divided into four
+// octrees"). Tree ids are face-major: tree = 4*face + patch.
+type ShellGeometry struct {
+	R1, R2 float64 // inner and outer radius
+}
+
+// X implements Geometry.
+func (g *ShellGeometry) X(tree int32, xi [3]float64) [3]float64 {
+	face := int(tree) / 4
+	patch := int(tree) % 4
+	// Patch (i,j) covers the quarter [i-1, i] x [j-1, j] of the face's
+	// angular square [-1,1]^2.
+	a := math.Pi / 4 * (float64(patch&1) + xi[0] - 1)
+	b := math.Pi / 4 * (float64(patch>>1&1) + xi[1] - 1)
+	fr := cubeFrames[face]
+	d := fr.n
+	d = addScaled(d, math.Tan(a), fr.u)
+	d = addScaled(d, math.Tan(b), fr.v)
+	d = normalize(d)
+	r := g.R1 + (g.R2-g.R1)*xi[2]
+	return scale(r, d)
+}
+
+// BallGeometry maps the 7-tree solid ball (center cube plus six caps).
+// Tree 0 is the center cube spanning [-c, c]^3 with c = Rin/sqrt(3); trees
+// 1..6 blend from the cube faces to the sphere of radius Rout.
+type BallGeometry struct {
+	Rin, Rout float64
+}
+
+// X implements Geometry.
+func (g *BallGeometry) X(tree int32, xi [3]float64) [3]float64 {
+	c := g.Rin / math.Sqrt(3)
+	if tree == 0 {
+		return [3]float64{c * (2*xi[0] - 1), c * (2*xi[1] - 1), c * (2*xi[2] - 1)}
+	}
+	fr := cubeFrames[tree-1]
+	u := 2*xi[0] - 1
+	v := 2*xi[1] - 1
+	inner := scale(c, addScaled(addScaled(fr.n, u, fr.u), v, fr.v))
+	dir := fr.n
+	dir = addScaled(dir, math.Tan(math.Pi/4*u), fr.u)
+	dir = addScaled(dir, math.Tan(math.Pi/4*v), fr.v)
+	outer := scale(g.Rout, normalize(dir))
+	t := xi[2]
+	return [3]float64{
+		inner[0] + t*(outer[0]-inner[0]),
+		inner[1] + t*(outer[1]-inner[1]),
+		inner[2] + t*(outer[2]-inner[2]),
+	}
+}

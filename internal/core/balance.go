@@ -1,0 +1,191 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/mpi"
+	"repro/internal/octant"
+)
+
+// BalanceKind selects which neighbour relations the 2:1 balance constraint
+// covers.
+type BalanceKind int
+
+const (
+	// BalanceFace balances across faces only.
+	BalanceFace BalanceKind = iota
+	// BalanceFaceEdge balances across faces and edges.
+	BalanceFaceEdge
+	// BalanceFull balances across faces, edges, and corners (the paper's
+	// default: "2:1 size relations ... respected both for octants within the
+	// same octree and for octants that belong to different octrees").
+	BalanceFull
+)
+
+// demand requires every leaf overlapping region O to have at least level
+// MinLevel. Demands are derived from leaves' same-size neighbour regions
+// and routed to the owners of those regions.
+type demand struct {
+	O        octant.Octant
+	MinLevel int8
+}
+
+// Balance enforces at most 2:1 size relations between neighbouring leaves,
+// including across inter-tree faces, edges, and corners with arbitrary
+// relative rotations, by local refinement where necessary.
+//
+// The implementation is an iterative ripple protocol: each round, every
+// rank derives from its leaves the set of demand octants (the same-size
+// neighbour images in all 26 directions, which package connectivity
+// transforms across the macro-structure), routes demands overlapping remote
+// curve segments to their owners, and refines any local leaf that is more
+// than one level coarser than a demand overlapping it. An Allreduce
+// detects the global fixpoint. Because every refinement is forced by the
+// balance condition, the fixpoint is the unique minimal 2:1-balanced
+// refinement — the same forest p4est's Balance produces.
+func (f *Forest) Balance(kind BalanceKind) {
+	round := 0
+	for ; ; round++ {
+		demands := f.collectDemands(kind)
+		routed := f.routeDemands(demands)
+		changed := f.applyDemands(routed)
+		if !mpi.AllreduceOr(f.Comm, changed) {
+			break
+		}
+	}
+	f.BalanceRounds = round + 1
+	f.syncMeta()
+}
+
+// neighborsFor enumerates the same-size neighbour images of o covered by
+// the balance kind.
+func (f *Forest) neighborsFor(o octant.Octant, kind BalanceKind) []octant.Octant {
+	out := make([]octant.Octant, 0, 26)
+	for face := 0; face < octant.NumFaces; face++ {
+		out = append(out, f.Conn.FaceNeighbors(o, face)...)
+	}
+	if kind >= BalanceFaceEdge {
+		for e := 0; e < octant.NumEdges; e++ {
+			out = append(out, f.Conn.EdgeNeighbors(o, e)...)
+		}
+	}
+	if kind >= BalanceFull {
+		for k := 0; k < octant.NumCorners; k++ {
+			out = append(out, f.Conn.CornerNeighbors(o, k)...)
+		}
+	}
+	return out
+}
+
+// collectDemands derives the demand set from the current local leaves,
+// deduplicated keeping the strongest level requirement.
+func (f *Forest) collectDemands(kind BalanceKind) map[octant.Octant]int8 {
+	demands := make(map[octant.Octant]int8)
+	for _, o := range f.Local {
+		if o.Level < 1 {
+			continue
+		}
+		min := o.Level - 1
+		for _, n := range f.neighborsFor(o, kind) {
+			if cur, ok := demands[n]; !ok || cur < min {
+				demands[n] = min
+			}
+		}
+	}
+	return demands
+}
+
+// routeDemands sends each demand to every rank whose curve segment overlaps
+// its region and returns the demands destined for this rank (local ones
+// included), sorted by curve position.
+func (f *Forest) routeDemands(demands map[octant.Octant]int8) []demand {
+	out := make(map[int][]demand)
+	for o, min := range demands {
+		lo, hi := f.OwnersOfRange(o)
+		for r := lo; r <= hi; r++ {
+			out[r] = append(out[r], demand{O: o, MinLevel: min})
+		}
+	}
+	in := mpi.SparseExchange(f.Comm, out, tagBalance)
+	var mine []demand
+	for _, ds := range in {
+		mine = append(mine, ds...)
+	}
+	sort.Slice(mine, func(i, j int) bool { return octant.Less(mine[i].O, mine[j].O) })
+	return mine
+}
+
+// applyDemands refines local leaves violating any demand and reports
+// whether anything changed. Leaves are processed in one sweep; a leaf's
+// relevant demands are found by probing its ancestor positions in a demand
+// map (demands coarser than the leaf) plus scanning the demands contained
+// in its curve range (demands finer than or equal to the leaf).
+func (f *Forest) applyDemands(ds []demand) bool {
+	if len(ds) == 0 {
+		return false
+	}
+	byPos := make(map[octant.Octant]int8, len(ds))
+	for _, d := range ds {
+		if cur, ok := byPos[d.O]; !ok || cur < d.MinLevel {
+			byPos[d.O] = d.MinLevel
+		}
+	}
+
+	changed := false
+	out := make([]octant.Octant, 0, len(f.Local))
+	var expand func(o octant.Octant, active []demand)
+	expand = func(o octant.Octant, active []demand) {
+		need := false
+		kept := active[:0:0]
+		for _, d := range active {
+			if !o.Overlaps(d.O) {
+				continue
+			}
+			kept = append(kept, d)
+			if o.Level < d.MinLevel {
+				need = true
+			}
+		}
+		if !need {
+			out = append(out, o)
+			return
+		}
+		changed = true
+		for i := 0; i < octant.NumChildren; i++ {
+			expand(o.Child(i), kept)
+		}
+	}
+
+	j := 0
+	for _, o := range f.Local {
+		var active []demand
+		// Demands at or above the leaf (ancestor positions, including o).
+		for l := int8(0); l <= o.Level; l++ {
+			a := o.AncestorAt(l)
+			if min, ok := byPos[a]; ok && min > o.Level {
+				active = append(active, demand{O: a, MinLevel: min})
+			}
+		}
+		// Demands strictly inside the leaf's range.
+		for j < len(ds) && octant.Compare(ds[j].O, o) <= 0 {
+			j++
+		}
+		end := markerEnd(o)
+		for k := j; k < len(ds); k++ {
+			m := markerOf(ds[k].O)
+			if !m.Less(end) {
+				break
+			}
+			if o.IsAncestorOf(ds[k].O) && ds[k].MinLevel > o.Level {
+				active = append(active, ds[k])
+			}
+		}
+		if len(active) == 0 {
+			out = append(out, o)
+			continue
+		}
+		expand(o, active)
+	}
+	f.Local = out
+	return changed
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/connectivity"
+	"repro/internal/mpi"
+	"repro/internal/octant"
+)
+
+// Checkpointing mirrors p4est's save/load capability: the leaf structure
+// is written once (gathered through rank 0) and can be restored later on
+// any rank count — the curve is simply re-split into equal segments. The
+// connectivity is not serialized; as in p4est, the caller must reconstruct
+// the same macro-structure and pass it to Load.
+
+const checkpointMagic = uint64(0x70346573745f676f) // "p4est_go"
+
+// Save writes the forest's leaves to path. Collective; rank 0 writes the
+// file. The format is independent of the rank count.
+func (f *Forest) Save(path string) error {
+	all := f.GatherAll()
+	if f.Comm.Rank() != 0 {
+		return nil
+	}
+	file, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer file.Close()
+	w := bufio.NewWriter(file)
+	defer w.Flush()
+
+	head := []uint64{checkpointMagic, uint64(f.Conn.NumTrees()), uint64(len(all))}
+	for _, v := range head {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, o := range all {
+		rec := [5]int32{o.Tree, o.X, o.Y, o.Z, int32(o.Level)}
+		if err := binary.Write(w, binary.LittleEndian, rec[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load restores a forest saved by Save onto the given communicator (any
+// size) and connectivity (which must match the one used at save time).
+// Collective; every rank reads its own slice of the file.
+func Load(comm *mpi.Comm, conn *connectivity.Conn, path string) (*Forest, error) {
+	file, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer file.Close()
+	r := bufio.NewReader(file)
+
+	var head [3]uint64
+	if err := binary.Read(r, binary.LittleEndian, head[:]); err != nil {
+		return nil, fmt.Errorf("core: reading checkpoint header: %w", err)
+	}
+	if head[0] != checkpointMagic {
+		return nil, fmt.Errorf("core: %s is not a forest checkpoint", path)
+	}
+	if int32(head[1]) != conn.NumTrees() {
+		return nil, fmt.Errorf("core: checkpoint has %d trees, connectivity has %d", head[1], conn.NumTrees())
+	}
+	total := int64(head[2])
+
+	p := int64(comm.Size())
+	rank := int64(comm.Rank())
+	lo := rank * total / p
+	hi := (rank + 1) * total / p
+
+	// Skip to this rank's slice (each record is 5 int32 = 20 bytes).
+	if _, err := io.CopyN(io.Discard, r, lo*20); err != nil {
+		return nil, err
+	}
+	f := &Forest{Conn: conn, Comm: comm}
+	f.Local = make([]octant.Octant, 0, hi-lo)
+	var prev octant.Octant
+	for i := lo; i < hi; i++ {
+		var rec [5]int32
+		if err := binary.Read(r, binary.LittleEndian, rec[:]); err != nil {
+			return nil, fmt.Errorf("core: reading leaf %d: %w", i, err)
+		}
+		o := octant.Octant{Tree: rec[0], X: rec[1], Y: rec[2], Z: rec[3], Level: int8(rec[4])}
+		if !o.Valid() || o.Tree >= conn.NumTrees() {
+			return nil, fmt.Errorf("core: corrupt leaf %d: %v", i, o)
+		}
+		if i > lo && octant.Compare(prev, o) >= 0 {
+			return nil, fmt.Errorf("core: checkpoint leaves out of order at %d", i)
+		}
+		prev = o
+		f.Local = append(f.Local, o)
+	}
+	f.syncMeta()
+	if err := f.Validate(); err != nil {
+		return nil, fmt.Errorf("core: loaded forest invalid: %w", err)
+	}
+	return f, nil
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/connectivity"
+	"repro/internal/mpi"
+)
+
+func TestCheckpointRoundTripAcrossRankCounts(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "forest.p4go")
+	conn := connectivity.SixRotCubes()
+
+	var savedSum uint64
+	mpi.Run(3, func(c *mpi.Comm) {
+		f := New(c, conn, 1)
+		f.Refine(true, 3, fractalRefine(3))
+		f.Balance(BalanceFull)
+		f.Partition()
+		savedSum = f.Checksum()
+		if err := f.Save(path); err != nil {
+			t.Errorf("save: %v", err)
+		}
+	})
+
+	// Restore on a different rank count: same leaves, re-partitioned.
+	for _, p := range []int{1, 5} {
+		mpi.Run(p, func(c *mpi.Comm) {
+			f, err := Load(c, conn, path)
+			if err != nil {
+				t.Errorf("load on %d ranks: %v", p, err)
+				return
+			}
+			if f.Checksum() != savedSum {
+				t.Errorf("p=%d: checksum changed across checkpoint", p)
+			}
+			validate(t, f)
+			// Re-partitioned evenly.
+			diff := int64(f.NumLocal()) - f.NumGlobal()/int64(p)
+			if diff < 0 || diff > 1 {
+				t.Errorf("p=%d: uneven restore: %d of %d", p, f.NumLocal(), f.NumGlobal())
+			}
+		})
+	}
+}
+
+func TestCheckpointRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	conn := connectivity.UnitCube()
+
+	// Wrong magic.
+	bad := filepath.Join(dir, "bad.p4go")
+	if err := os.WriteFile(bad, make([]byte, 64), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mpi.Run(1, func(c *mpi.Comm) {
+		if _, err := Load(c, conn, bad); err == nil {
+			t.Error("garbage accepted")
+		}
+	})
+
+	// Wrong connectivity (tree count mismatch).
+	good := filepath.Join(dir, "good.p4go")
+	mpi.Run(1, func(c *mpi.Comm) {
+		f := New(c, connectivity.SixRotCubes(), 1)
+		if err := f.Save(good); err != nil {
+			t.Errorf("save: %v", err)
+		}
+	})
+	mpi.Run(1, func(c *mpi.Comm) {
+		if _, err := Load(c, conn, good); err == nil {
+			t.Error("tree-count mismatch accepted")
+		}
+	})
+
+	// Missing file.
+	mpi.Run(1, func(c *mpi.Comm) {
+		if _, err := Load(c, conn, filepath.Join(dir, "nope")); err == nil {
+			t.Error("missing file accepted")
+		}
+	})
+}

@@ -1,0 +1,308 @@
+// Package core implements the paper's primary contribution: fully
+// distributed forest-of-octrees adaptive mesh refinement. A Forest holds the
+// leaves (octants) of K logical octrees, totally ordered by the
+// space-filling z-curve that traverses the leaves of every tree in sequence,
+// and partitioned among P ranks by dividing the curve into P segments.
+//
+// Globally shared meta-data is limited to one curve marker and one octant
+// count per rank (the paper's "32 bytes per core"); everything else is
+// strictly distributed. The collective algorithms New, Refine, Coarsen,
+// Partition, Balance, Ghost, and Nodes follow §II.C of the paper.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/connectivity"
+	"repro/internal/mpi"
+	"repro/internal/octant"
+)
+
+// Marker is a position on the space-filling curve: the Morton key of a
+// max-level octant within a tree. Markers bound each rank's curve segment;
+// together with the per-rank octant counts they are the only globally
+// shared meta-data.
+type Marker struct {
+	Tree int32
+	Key  octant.Key
+}
+
+// Less orders curve positions.
+func (m Marker) Less(n Marker) bool {
+	if m.Tree != n.Tree {
+		return m.Tree < n.Tree
+	}
+	return m.Key < n.Key
+}
+
+// LessEq reports m <= n on the curve.
+func (m Marker) LessEq(n Marker) bool { return !n.Less(m) }
+
+// markerOf returns the curve position of an octant's first descendant.
+func markerOf(o octant.Octant) Marker {
+	return Marker{Tree: o.Tree, Key: o.MortonKey()}
+}
+
+// markerEnd returns the curve position one past an octant's range,
+// overflowing into the next tree when the octant closes its tree.
+func markerEnd(o octant.Octant) Marker {
+	end := o.RangeEnd()
+	if end == octant.Key(octant.NumDescendants(0)) {
+		return Marker{Tree: o.Tree + 1, Key: 0}
+	}
+	return Marker{Tree: o.Tree, Key: end}
+}
+
+// Forest is one rank's view of a distributed forest of octrees. All
+// operations on a Forest are collective: every rank of the communicator
+// must call them in the same order.
+type Forest struct {
+	Conn *connectivity.Conn
+	Comm *mpi.Comm
+
+	// Local holds this rank's leaves in ascending curve order.
+	Local []octant.Octant
+
+	gfp         []Marker // curve segment starts, len P+1; gfp[P] is the end sentinel
+	counts      []int64  // octants per rank
+	globalNum   int64    // total octant count
+	globalFirst int64    // global index of Local[0]
+
+	// BalanceRounds records how many ripple rounds the last Balance call
+	// needed to reach its fixpoint (diagnostics for the iterative 2:1
+	// protocol; bounded by the refinement-level spread).
+	BalanceRounds int
+
+	// payload moved alongside leaves by PartitionWithData.
+	pendingData []float64
+	pendingPer  int
+}
+
+// New creates a uniformly refined, equi-partitioned forest at the given
+// level (level 0 creates only root octants, potentially leaving many ranks
+// empty). New requires no communication beyond the shared-counter setup.
+func New(comm *mpi.Comm, conn *connectivity.Conn, level int8) *Forest {
+	if level < 0 || level > octant.MaxLevel {
+		panic("core: invalid initial level")
+	}
+	perTree := int64(1) << (3 * uint(level))
+	total := int64(conn.NumTrees()) * perTree
+	p := int64(comm.Size())
+	r := int64(comm.Rank())
+	lo := r * total / p
+	hi := (r + 1) * total / p
+	f := &Forest{Conn: conn, Comm: comm}
+	f.Local = make([]octant.Octant, 0, hi-lo)
+	shift := 3 * uint(octant.MaxLevel-level)
+	for i := lo; i < hi; i++ {
+		tree := int32(i / perTree)
+		within := uint64(i % perTree)
+		f.Local = append(f.Local, octant.FromMortonKey(octant.Key(within<<shift), level, tree))
+	}
+	f.syncMeta()
+	return f
+}
+
+// syncMeta refreshes the globally shared meta-data (curve markers and
+// octant counts) after any operation that changed the local leaves. Leaf
+// changes that keep each rank's curve segment fixed (Refine, Coarsen,
+// Balance) only need the counts; Partition moves the markers too.
+func (f *Forest) syncMeta() {
+	p := f.Comm.Size()
+	f.counts = mpi.Allgather(f.Comm, int64(len(f.Local)))
+	f.globalNum = 0
+	f.globalFirst = 0
+	for r, c := range f.counts {
+		if r < f.Comm.Rank() {
+			f.globalFirst += c
+		}
+		f.globalNum += c
+	}
+
+	type firstPos struct {
+		Has bool
+		M   Marker
+	}
+	fp := firstPos{}
+	if len(f.Local) > 0 {
+		fp = firstPos{Has: true, M: markerOf(f.Local[0])}
+	}
+	all := mpi.Allgather(f.Comm, fp)
+	f.gfp = make([]Marker, p+1)
+	f.gfp[p] = Marker{Tree: f.Conn.NumTrees()}
+	for r := p - 1; r >= 0; r-- {
+		if all[r].Has {
+			f.gfp[r] = all[r].M
+		} else {
+			f.gfp[r] = f.gfp[r+1]
+		}
+	}
+}
+
+// NumLocal returns the number of local leaves.
+func (f *Forest) NumLocal() int { return len(f.Local) }
+
+// NumGlobal returns the total number of leaves across all ranks.
+func (f *Forest) NumGlobal() int64 { return f.globalNum }
+
+// GlobalFirst returns the global index of this rank's first leaf.
+func (f *Forest) GlobalFirst() int64 { return f.globalFirst }
+
+// RankCounts returns the per-rank leaf counts (shared meta-data).
+func (f *Forest) RankCounts() []int64 { return f.counts }
+
+// OwnerOfPosition returns the rank owning the given curve position. Any
+// rank can answer this from the shared markers alone, in O(log P).
+func (f *Forest) OwnerOfPosition(m Marker) int {
+	// Largest r with gfp[r] <= m.
+	r := sort.Search(f.Comm.Size()+1, func(i int) bool {
+		return m.Less(f.gfp[i])
+	}) - 1
+	if r < 0 || r >= f.Comm.Size() {
+		panic(fmt.Sprintf("core: position %+v outside forest", m))
+	}
+	return r
+}
+
+// OwnerOf returns the rank owning octant o (the owner of its first
+// descendant's curve position).
+func (f *Forest) OwnerOf(o octant.Octant) int {
+	return f.OwnerOfPosition(markerOf(o))
+}
+
+// OwnersOfRange returns the inclusive rank range [lo, hi] whose curve
+// segments intersect octant o's descendant range. Coarse octants may span
+// several ranks.
+func (f *Forest) OwnersOfRange(o octant.Octant) (lo, hi int) {
+	lo = f.OwnerOfPosition(markerOf(o))
+	end := markerEnd(o)
+	// Largest r with gfp[r] < end.
+	hi = sort.Search(f.Comm.Size()+1, func(i int) bool {
+		return !f.gfp[i].Less(end)
+	}) - 1
+	if hi >= f.Comm.Size() {
+		hi = f.Comm.Size() - 1
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
+// FindLeaf returns the index of the local leaf containing octant q (equal
+// or ancestor), or -1 if no local leaf contains it.
+func (f *Forest) FindLeaf(q octant.Octant) int {
+	i := octant.SearchContaining(f.Local, q)
+	if i >= 0 && !f.Local[i].Contains(q) {
+		return -1
+	}
+	return i
+}
+
+// TreeBoundsLocal returns the half-open index range of local leaves that
+// belong to tree t.
+func (f *Forest) TreeBoundsLocal(t int32) (lo, hi int) {
+	lo = sort.Search(len(f.Local), func(i int) bool { return f.Local[i].Tree >= t })
+	hi = sort.Search(len(f.Local), func(i int) bool { return f.Local[i].Tree > t })
+	return lo, hi
+}
+
+// Checksum returns a partition-independent checksum of the forest: the sum
+// of per-leaf hashes, reduced over all ranks. Two forests with identical
+// leaves produce identical checksums regardless of rank count, which the
+// tests use to compare parallel runs against serial references.
+func (f *Forest) Checksum() uint64 {
+	var local uint64
+	for _, o := range f.Local {
+		local += leafHash(o)
+	}
+	return uint64(mpi.Allreduce(f.Comm, int64(local), func(a, b int64) int64 {
+		return int64(uint64(a) + uint64(b))
+	}))
+}
+
+func leafHash(o octant.Octant) uint64 {
+	// FNV-1a over the octant's identifying fields.
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= 1099511628211
+			v >>= 8
+		}
+	}
+	mix(uint64(uint32(o.Tree)))
+	mix(uint64(o.MortonKey()))
+	mix(uint64(uint8(o.Level)))
+	return h
+}
+
+// Validate checks the structural invariants of the distributed forest and
+// returns an error describing the first violation: local leaves strictly
+// curve-sorted, properly aligned, inside their trees, consistent with the
+// shared markers, and globally covering every tree exactly. Intended for
+// tests and debugging; it is collective.
+func (f *Forest) Validate() error {
+	for i, o := range f.Local {
+		if !o.Valid() {
+			return fmt.Errorf("leaf %d invalid: %v", i, o)
+		}
+		if o.Tree < 0 || o.Tree >= f.Conn.NumTrees() {
+			return fmt.Errorf("leaf %d tree out of range: %v", i, o)
+		}
+		if i > 0 && octant.Compare(f.Local[i-1], o) >= 0 {
+			return fmt.Errorf("leaves %d,%d out of order: %v %v", i-1, i, f.Local[i-1], o)
+		}
+	}
+	if len(f.Local) > 0 {
+		first := markerOf(f.Local[0])
+		if first.Less(f.gfp[f.Comm.Rank()]) {
+			return fmt.Errorf("first leaf %v before own marker", f.Local[0])
+		}
+		last := markerEnd(f.Local[len(f.Local)-1])
+		if f.gfp[f.Comm.Rank()+1].Less(last) {
+			return fmt.Errorf("last leaf %v beyond next marker", f.Local[len(f.Local)-1])
+		}
+	}
+	// Leaves must tile the forest: local volumes must sum globally to the
+	// total volume of all trees, and consecutive leaves must be gap-free.
+	var vol uint64
+	for i, o := range f.Local {
+		vol += octant.NumDescendants(o.Level)
+		if i > 0 {
+			prev := f.Local[i-1]
+			if prev.Tree == o.Tree {
+				if prev.RangeEnd() != o.MortonKey() {
+					return fmt.Errorf("gap or overlap between %v and %v", prev, o)
+				}
+			} else {
+				if o.Tree != prev.Tree+1 || prev.RangeEnd() != octant.Key(octant.NumDescendants(0)) || o.MortonKey() != 0 {
+					return fmt.Errorf("bad tree transition between %v and %v", prev, o)
+				}
+			}
+		}
+	}
+	tot := mpi.Allreduce(f.Comm, int64(vol), func(a, b int64) int64 { return a + b })
+	want := int64(octant.NumDescendants(0)) * int64(f.Conn.NumTrees())
+	if tot != want {
+		return fmt.Errorf("volume %d != expected %d", tot, want)
+	}
+	// Counts consistent.
+	if int64(len(f.Local)) != f.counts[f.Comm.Rank()] {
+		return fmt.Errorf("count meta-data stale")
+	}
+	return nil
+}
+
+// GatherAll returns the full global leaf array on every rank, in curve
+// order. Intended for tests, debugging, and single-file visualization of
+// small forests only — it defeats the distributed-storage design on purpose.
+func (f *Forest) GatherAll() []octant.Octant {
+	all := mpi.Allgather(f.Comm, f.Local)
+	var out []octant.Octant
+	for _, part := range all {
+		out = append(out, part...)
+	}
+	return out
+}

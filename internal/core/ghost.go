@@ -1,0 +1,278 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/mpi"
+	"repro/internal/octant"
+)
+
+// GhostLayer holds one layer of non-local leaves touching this rank's
+// partition from the outside (paper §II.C), plus the mirror information
+// needed to push local data to the ranks that see it as ghost.
+type GhostLayer struct {
+	// Octants are the remote leaves adjacent to this rank's leaves, in
+	// ascending curve order.
+	Octants []octant.Octant
+	// Owner[i] is the rank owning Octants[i].
+	Owner []int
+	// Mirrors lists the indices of local leaves that appear in at least one
+	// other rank's ghost layer, ascending.
+	Mirrors []int
+	// MirrorRanks[k] lists the ranks that hold local leaf Mirrors[k] as a
+	// ghost, ascending.
+	MirrorRanks [][]int
+}
+
+// NumGhosts returns the number of ghost octants.
+func (g *GhostLayer) NumGhosts() int { return len(g.Octants) }
+
+// Ghost collects one layer of non-local leaves adjacent (through faces,
+// edges, and corners, including inter-tree connections) to the local curve
+// segment. Every local leaf whose same-size neighbourhood overlaps a remote
+// segment is shipped to those ranks; symmetry of the neighbourhood relation
+// makes the received set exactly the adjacent remote leaves.
+func (f *Forest) Ghost() *GhostLayer {
+	me := f.Comm.Rank()
+	sendSet := make(map[int]map[int]bool) // dest rank -> local leaf index set
+	mirrorRanks := make(map[int][]int)    // local leaf index -> dest ranks
+	for i, o := range f.Local {
+		var dests map[int]bool
+		for _, n := range f.Conn.AllNeighbors(o) {
+			lo, hi := f.OwnersOfRange(n)
+			for r := lo; r <= hi; r++ {
+				if r == me {
+					continue
+				}
+				if dests == nil {
+					dests = make(map[int]bool)
+				}
+				if !dests[r] {
+					dests[r] = true
+					if sendSet[r] == nil {
+						sendSet[r] = make(map[int]bool)
+					}
+					sendSet[r][i] = true
+				}
+			}
+		}
+		if dests != nil {
+			ranks := make([]int, 0, len(dests))
+			for r := range dests {
+				ranks = append(ranks, r)
+			}
+			sort.Ints(ranks)
+			mirrorRanks[i] = ranks
+		}
+	}
+
+	out := make(map[int][]octant.Octant)
+	for r, set := range sendSet {
+		idx := make([]int, 0, len(set))
+		for i := range set {
+			idx = append(idx, i)
+		}
+		sort.Ints(idx)
+		list := make([]octant.Octant, len(idx))
+		for k, i := range idx {
+			list[k] = f.Local[i]
+		}
+		out[r] = list
+	}
+	in := mpi.SparseExchange(f.Comm, out, tagGhost)
+
+	g := &GhostLayer{}
+	type ownedOct struct {
+		o     octant.Octant
+		owner int
+	}
+	var recv []ownedOct
+	for src, list := range in {
+		if src == me {
+			continue
+		}
+		for _, o := range list {
+			recv = append(recv, ownedOct{o, src})
+		}
+	}
+	sort.Slice(recv, func(i, j int) bool { return octant.Less(recv[i].o, recv[j].o) })
+	for _, ro := range recv {
+		g.Octants = append(g.Octants, ro.o)
+		g.Owner = append(g.Owner, ro.owner)
+	}
+
+	mirrorIdx := make([]int, 0, len(mirrorRanks))
+	for i := range mirrorRanks {
+		mirrorIdx = append(mirrorIdx, i)
+	}
+	sort.Ints(mirrorIdx)
+	for _, i := range mirrorIdx {
+		g.Mirrors = append(g.Mirrors, i)
+		g.MirrorRanks = append(g.MirrorRanks, mirrorRanks[i])
+	}
+	return g
+}
+
+// FindGhost returns the index of the ghost leaf containing q (equal or
+// ancestor), or -1.
+func (g *GhostLayer) FindGhost(q octant.Octant) int {
+	i := octant.SearchContaining(g.Octants, q)
+	if i >= 0 && !g.Octants[i].Contains(q) {
+		return -1
+	}
+	return i
+}
+
+// FindLeafOrGhost locates the leaf containing q in the local storage or the
+// ghost layer. It returns the leaf and where it was found:
+// local index >= 0 with ghost == false, or ghost index with ghost == true.
+// found is false if q lies outside both (e.g. past a domain boundary).
+func (f *Forest) FindLeafOrGhost(g *GhostLayer, q octant.Octant) (leaf octant.Octant, idx int, ghost, found bool) {
+	if i := f.FindLeaf(q); i >= 0 {
+		return f.Local[i], i, false, true
+	}
+	if g != nil {
+		if i := g.FindGhost(q); i >= 0 {
+			return g.Octants[i], i, true, true
+		}
+	}
+	return octant.Octant{}, -1, false, false
+}
+
+// GhostLayers collects `layers` rings of remote leaves around the local
+// segment: layer 1 is Ghost's result; each further ring adds the remote
+// leaves that overlap the same-size neighbourhood regions of the previous
+// ring (the geometric one-layer expansion of the front). The paper notes
+// this "minor extension of Ghost" enables multiple layers as needed, e.g.,
+// by semi-Lagrangian methods (§II.E). Collective.
+func (f *Forest) GhostLayers(layers int) *GhostLayer {
+	if layers < 1 {
+		panic("core: GhostLayers needs layers >= 1")
+	}
+	g := f.Ghost()
+	if layers == 1 {
+		return g
+	}
+	me := f.Comm.Rank()
+	have := make(map[octant.Octant]bool, len(g.Octants))
+	for _, o := range g.Octants {
+		have[o] = true
+	}
+	mirrored := make(map[int]map[int]bool) // dest rank -> local leaf set
+	for k, li := range g.Mirrors {
+		for _, r := range g.MirrorRanks[k] {
+			if mirrored[r] == nil {
+				mirrored[r] = make(map[int]bool)
+			}
+			mirrored[r][li] = true
+		}
+	}
+
+	front := append([]octant.Octant(nil), g.Octants...)
+	for ring := 1; ring < layers; ring++ {
+		// Request the next ring: the neighbourhood regions of the current
+		// front, routed to every rank whose segment they overlap (the next
+		// ring may be owned by a third rank).
+		req := make(map[int][]octant.Octant)
+		for _, o := range front {
+			for _, n := range f.Conn.AllNeighbors(o) {
+				lo, hi := f.OwnersOfRange(n)
+				for r := lo; r <= hi; r++ {
+					if r != me {
+						req[r] = append(req[r], n)
+					}
+				}
+			}
+		}
+		in := mpi.SparseExchange(f.Comm, req, tagGhost+ring*2)
+		reply := make(map[int][]octant.Octant)
+		var peers []int
+		for r := range in {
+			peers = append(peers, r)
+		}
+		sort.Ints(peers)
+		for _, r := range peers {
+			if r == me {
+				continue
+			}
+			sent := make(map[int]bool)
+			for _, n := range in[r] {
+				lo, hi := octant.SearchOverlapRange(f.Local, n)
+				for li := lo; li < hi; li++ {
+					if !sent[li] && !mirroredHas(mirrored, r, li) {
+						sent[li] = true
+						if mirrored[r] == nil {
+							mirrored[r] = make(map[int]bool)
+						}
+						mirrored[r][li] = true
+						reply[r] = append(reply[r], f.Local[li])
+					}
+				}
+			}
+		}
+		back := mpi.SparseExchange(f.Comm, reply, tagGhost+ring*2+10)
+		var srcs []int
+		for r := range back {
+			srcs = append(srcs, r)
+		}
+		sort.Ints(srcs)
+		var next []octant.Octant
+		for _, r := range srcs {
+			if r == me {
+				continue
+			}
+			for _, o := range back[r] {
+				if !have[o] {
+					have[o] = true
+					g.Octants = append(g.Octants, o)
+					g.Owner = append(g.Owner, r)
+					next = append(next, o)
+				}
+			}
+		}
+		octant.Sort(next)
+		front = next
+	}
+
+	// Re-sort ghosts and rebuild the mirror lists from the mirrored map.
+	type ownedOct struct {
+		o     octant.Octant
+		owner int
+	}
+	recv := make([]ownedOct, len(g.Octants))
+	for i := range g.Octants {
+		recv[i] = ownedOct{g.Octants[i], g.Owner[i]}
+	}
+	sort.Slice(recv, func(i, j int) bool { return octant.Less(recv[i].o, recv[j].o) })
+	g.Octants = g.Octants[:0]
+	g.Owner = g.Owner[:0]
+	for _, ro := range recv {
+		g.Octants = append(g.Octants, ro.o)
+		g.Owner = append(g.Owner, ro.owner)
+	}
+	perLeaf := make(map[int][]int)
+	for r, set := range mirrored {
+		for li := range set {
+			perLeaf[li] = append(perLeaf[li], r)
+		}
+	}
+	g.Mirrors = g.Mirrors[:0]
+	g.MirrorRanks = g.MirrorRanks[:0]
+	var leafIdx []int
+	for li := range perLeaf {
+		leafIdx = append(leafIdx, li)
+	}
+	sort.Ints(leafIdx)
+	for _, li := range leafIdx {
+		rs := perLeaf[li]
+		sort.Ints(rs)
+		g.Mirrors = append(g.Mirrors, li)
+		g.MirrorRanks = append(g.MirrorRanks, rs)
+	}
+	return g
+}
+
+func mirroredHas(m map[int]map[int]bool, r, li int) bool {
+	set, ok := m[r]
+	return ok && set[li]
+}

@@ -1,0 +1,469 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/connectivity"
+	"repro/internal/mpi"
+	"repro/internal/octant"
+)
+
+// NodeRef ties one element corner to the mesh nodes it reads: a single
+// independent node, or — for a hanging corner — the 2 (coarse edge) or 4
+// (coarse face) anchor nodes it interpolates with equal weights, as in the
+// paper's trilinear continuous Galerkin discretization ("nodal values on
+// half-size faces or edges ... are constrained to interpolate neighboring
+// unknowns", §II.E).
+type NodeRef struct {
+	Nodes []int32 // local node indices; len 1 (independent), 2, or 4
+}
+
+// Independent reports whether the corner carries its own unknown.
+func (r NodeRef) Independent() bool { return len(r.Nodes) == 1 }
+
+// Weight returns the interpolation weight of each referenced node.
+func (r NodeRef) Weight() float64 { return 1 / float64(len(r.Nodes)) }
+
+// Nodes is the globally unique numbering of the independent trilinear
+// unknowns referenced by this rank's elements, produced by Forest.Nodes.
+type Nodes struct {
+	// ElementNodes[e][c] describes corner c of local element e.
+	ElementNodes [][8]NodeRef
+	// Keys holds the canonical points of all locally referenced independent
+	// nodes, ascending; parallel arrays give their global ids and owners.
+	Keys     []connectivity.TreePoint
+	GlobalID []int64
+	Owner    []int
+	// NumOwned counts locally owned nodes; they occupy global ids
+	// [OwnedOffset, OwnedOffset+NumOwned).
+	NumOwned    int
+	OwnedOffset int64
+	NumGlobal   int64
+	// Owner-routed communication lists: reqLists[r] holds the local indices
+	// of nodes owned by rank r that this rank references; serveLists[r]
+	// holds the local indices of nodes owned by this rank that rank r
+	// references. Both are in the requester's key order, so the two sides
+	// stay aligned.
+	reqLists   map[int][]int32
+	serveLists map[int][]int32
+
+	comm *mpi.Comm
+}
+
+// cornerPoint returns the lattice coordinates of corner c of leaf o.
+func cornerPoint(o octant.Octant, c int) [3]int32 {
+	x, y, z := o.Corner(c)
+	return [3]int32{x, y, z}
+}
+
+// touchingCells returns the max-level cells adjacent to point p of tree t,
+// enumerated across every inter-tree image of the point and deduplicated.
+// Every leaf touching the physical node contains at least one of these
+// cells, and every rank computes the same set from the connectivity alone.
+func touchingCells(conn *connectivity.Conn, t int32, p [3]int32) []octant.Octant {
+	images := conn.PointImages(t, p)
+	var cells []octant.Octant
+	for _, im := range images {
+		for d := 0; d < 8; d++ {
+			q := [3]int32{im.X, im.Y, im.Z}
+			ok := true
+			for a := 0; a < 3; a++ {
+				if d>>a&1 != 0 {
+					q[a]--
+				}
+				if q[a] < 0 || q[a] >= octant.RootLen {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				cells = append(cells, octant.Octant{X: q[0], Y: q[1], Z: q[2], Level: octant.MaxLevel, Tree: im.Tree})
+			}
+		}
+	}
+	cells = octant.Linearize(cells)
+	return cells
+}
+
+// nodeOwner determines, from shared meta-data only, the rank owning the
+// node at canonical point key: the owner of the curve-smallest cell
+// touching the node. Every rank referencing the node computes the same
+// owner, and the owner always references the node itself (the leaf
+// containing the minimal cell has the node as one of its corners).
+func (f *Forest) nodeOwner(key connectivity.TreePoint) int {
+	cells := touchingCells(f.Conn, key.Tree, [3]int32{key.X, key.Y, key.Z})
+	owner := f.Comm.Size()
+	minMarker := Marker{Tree: f.Conn.NumTrees()}
+	for _, cell := range cells {
+		m := markerOf(cell)
+		if m.Less(minMarker) {
+			minMarker = m
+			owner = f.OwnerOfPosition(m)
+		}
+	}
+	return owner
+}
+
+// Nodes creates the globally unique numbering of the trilinear continuous
+// unknowns (paper §II.E). The forest must be 2:1 balanced (BalanceFull) and
+// ghost must be the current ghost layer. Independent nodes on octree
+// boundaries are canonicalized to the lowest participating tree; hanging
+// corners are constrained to the corners of the coarse face or edge they
+// sit on.
+func (f *Forest) Nodes(ghost *GhostLayer) *Nodes {
+	search := mergeLeaves(f.Local, ghost.Octants)
+
+	type cornerInfo struct {
+		keys []connectivity.TreePoint // 1 (independent) or 2/4 anchors
+	}
+	corners := make([][8]cornerInfo, len(f.Local))
+	keySet := make(map[connectivity.TreePoint]int32)
+	var keys []connectivity.TreePoint
+	intern := func(k connectivity.TreePoint) {
+		if _, ok := keySet[k]; !ok {
+			keySet[k] = -1
+			keys = append(keys, k)
+		}
+	}
+
+	for ei, o := range f.Local {
+		for c := 0; c < 8; c++ {
+			p := cornerPoint(o, c)
+			info := f.classifyCorner(search, o.Tree, p)
+			for _, k := range info {
+				intern(k)
+			}
+			corners[ei][c] = cornerInfo{keys: info}
+		}
+	}
+
+	// Deterministic local node order.
+	sort.Slice(keys, func(i, j int) bool { return lessTreePoint(keys[i], keys[j]) })
+	for i, k := range keys {
+		keySet[k] = int32(i)
+	}
+
+	nd := &Nodes{comm: f.Comm, Keys: keys}
+	nd.GlobalID = make([]int64, len(keys))
+	nd.Owner = make([]int, len(keys))
+	for i, k := range keys {
+		nd.Owner[i] = f.nodeOwner(k)
+		if nd.Owner[i] == f.Comm.Rank() {
+			nd.NumOwned++
+		}
+	}
+
+	// Global ids: owned nodes take consecutive ids in key order.
+	nd.OwnedOffset = mpi.ExScan(f.Comm, int64(nd.NumOwned), func(a, b int64) int64 { return a + b })
+	nd.NumGlobal = mpi.AllreduceSum(f.Comm, int64(nd.NumOwned))
+	next := nd.OwnedOffset
+	for i := range keys {
+		if nd.Owner[i] == f.Comm.Rank() {
+			nd.GlobalID[i] = next
+			next++
+		} else {
+			nd.GlobalID[i] = -1
+		}
+	}
+
+	// Resolve remote ids: ask each owner for the ids of the keys we hold.
+	// The same exchange establishes the owner-routed communication lists
+	// used by AssembleSum/AssembleMax.
+	req := make(map[int][]connectivity.TreePoint)
+	nd.reqLists = make(map[int][]int32)
+	for i, k := range keys {
+		if r := nd.Owner[i]; r != f.Comm.Rank() {
+			req[r] = append(req[r], k)
+			nd.reqLists[r] = append(nd.reqLists[r], int32(i))
+		}
+	}
+	inReq := mpi.SparseExchange(f.Comm, req, tagNodesReq)
+	rep := make(map[int][]int64)
+	nd.serveLists = make(map[int][]int32)
+	var repRanks []int
+	for r := range inReq {
+		repRanks = append(repRanks, r)
+	}
+	sort.Ints(repRanks)
+	for _, r := range repRanks {
+		ids := make([]int64, len(inReq[r]))
+		serve := make([]int32, len(inReq[r]))
+		for j, k := range inReq[r] {
+			li, ok := keySet[k]
+			if !ok || nd.GlobalID[li] < 0 {
+				panic(fmt.Sprintf("core: rank %d asked rank %d for unknown node %+v", r, f.Comm.Rank(), k))
+			}
+			ids[j] = nd.GlobalID[li]
+			serve[j] = li
+		}
+		rep[r] = ids
+		nd.serveLists[r] = serve
+	}
+	inRep := mpi.SparseExchange(f.Comm, rep, tagNodesRep)
+	for r, ks := range req {
+		ids := inRep[r]
+		if len(ids) != len(ks) {
+			panic("core: node id reply length mismatch")
+		}
+		for j, k := range ks {
+			nd.GlobalID[keySet[k]] = ids[j]
+		}
+	}
+
+	// Element corner references.
+	nd.ElementNodes = make([][8]NodeRef, len(f.Local))
+	for ei := range f.Local {
+		for c := 0; c < 8; c++ {
+			ks := corners[ei][c].keys
+			ref := NodeRef{Nodes: make([]int32, len(ks))}
+			for j, k := range ks {
+				ref.Nodes[j] = keySet[k]
+			}
+			nd.ElementNodes[ei][c] = ref
+		}
+	}
+
+	return nd
+}
+
+// classifyCorner determines the independent node keys a corner point reads:
+// its own canonical key if the node is independent, or the canonical keys
+// of the coarse anchors if it hangs. search is the merged local+ghost leaf
+// array.
+func (f *Forest) classifyCorner(search []octant.Octant, t int32, p [3]int32) []connectivity.TreePoint {
+	images := f.Conn.PointImages(t, p)
+	var worst octant.Octant // coarsest touching leaf that lacks p as corner
+	worstSet := false
+	var worstImage connectivity.TreePoint
+	for _, im := range images {
+		for d := 0; d < 8; d++ {
+			q := [3]int32{im.X, im.Y, im.Z}
+			ok := true
+			for a := 0; a < 3; a++ {
+				if d>>a&1 != 0 {
+					q[a]--
+				}
+				if q[a] < 0 || q[a] >= octant.RootLen {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			cell := octant.Octant{X: q[0], Y: q[1], Z: q[2], Level: octant.MaxLevel, Tree: im.Tree}
+			li := octant.SearchContaining(search, cell)
+			if li < 0 || !search[li].Contains(cell) {
+				panic(fmt.Sprintf("core: no leaf covers cell %v next to node %+v (ghost layer incomplete?)", cell, im))
+			}
+			leaf := search[li]
+			if !pointIsCorner(leaf, [3]int32{im.X, im.Y, im.Z}) {
+				if !worstSet || leaf.Level < worst.Level {
+					worst = leaf
+					worstSet = true
+					worstImage = im
+				}
+			}
+		}
+	}
+	if !worstSet {
+		return []connectivity.TreePoint{f.Conn.Canonical(t, p)}
+	}
+	// Hanging: p sits strictly inside a face or edge of worst. The anchors
+	// are the corners of that entity.
+	h := worst.Len()
+	base := [3]int32{worst.X, worst.Y, worst.Z}
+	pp := [3]int32{worstImage.X, worstImage.Y, worstImage.Z}
+	var strict []int
+	for a := 0; a < 3; a++ {
+		d := pp[a] - base[a]
+		if d > 0 && d < h {
+			strict = append(strict, a)
+		}
+	}
+	if len(strict) == 0 || len(strict) > 2 {
+		panic(fmt.Sprintf("core: node %+v hangs inside volume of %v (mesh not 2:1 balanced?)", worstImage, worst))
+	}
+	var anchors []connectivity.TreePoint
+	for bits := 0; bits < 1<<len(strict); bits++ {
+		q := pp
+		for bi, a := range strict {
+			if bits>>bi&1 == 0 {
+				q[a] = base[a]
+			} else {
+				q[a] = base[a] + h
+			}
+		}
+		anchors = append(anchors, f.Conn.Canonical(worst.Tree, q))
+	}
+	return anchors
+}
+
+func pointIsCorner(o octant.Octant, p [3]int32) bool {
+	h := o.Len()
+	for a, v := range [3]int32{o.X, o.Y, o.Z} {
+		if p[a] != v && p[a] != v+h {
+			return false
+		}
+	}
+	return true
+}
+
+func lessTreePoint(a, b connectivity.TreePoint) bool {
+	if a.Tree != b.Tree {
+		return a.Tree < b.Tree
+	}
+	if a.Z != b.Z {
+		return a.Z < b.Z
+	}
+	if a.Y != b.Y {
+		return a.Y < b.Y
+	}
+	return a.X < b.X
+}
+
+// mergeLeaves merges two curve-sorted leaf arrays into one.
+func mergeLeaves(a, b []octant.Octant) []octant.Octant {
+	out := make([]octant.Octant, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if octant.Less(a[i], b[j]) {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// assemble combines, for every node shared across ranks, the contributions
+// of all referencing ranks with op, leaving every rank with the combined
+// value. The reduction is routed through each node's owner (requesters send
+// contributions in, the owner reduces deterministically by rank order and
+// sends the result back), which handles nodes referenced asymmetrically —
+// e.g. hanging-corner anchors a rank reads without touching.
+func (nd *Nodes) assemble(v []float64, tag int, op func(a, b float64) float64) {
+	if len(v) != len(nd.Keys) {
+		panic("core: assemble vector length mismatch")
+	}
+	out := make(map[int][]float64, len(nd.reqLists))
+	for r, idx := range nd.reqLists {
+		vals := make([]float64, len(idx))
+		for j, i := range idx {
+			vals[j] = v[i]
+		}
+		out[r] = vals
+	}
+	in := mpi.SparseExchange(nd.comm, out, tag)
+	var ranks []int
+	for r := range in {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	for _, r := range ranks {
+		if r == nd.comm.Rank() {
+			continue
+		}
+		idx := nd.serveLists[r]
+		vals := in[r]
+		if len(vals) != len(idx) {
+			panic("core: assemble contribution length mismatch")
+		}
+		for j, i := range idx {
+			v[i] = op(v[i], vals[j])
+		}
+	}
+	// Send the reduced values back along the same lists.
+	back := make(map[int][]float64, len(nd.serveLists))
+	for r, idx := range nd.serveLists {
+		vals := make([]float64, len(idx))
+		for j, i := range idx {
+			vals[j] = v[i]
+		}
+		back[r] = vals
+	}
+	inBack := mpi.SparseExchange(nd.comm, back, tag+2)
+	for r, vals := range inBack {
+		if r == nd.comm.Rank() {
+			continue
+		}
+		for j, i := range nd.reqLists[r] {
+			v[i] = vals[j]
+		}
+	}
+}
+
+// AssembleSum adds, for every shared node, the contributions of all
+// referencing ranks, leaving every rank with the globally assembled value.
+// v is indexed by local node. This is the parallel scatter-gather the
+// paper's cG solver uses for unknowns shared between cores (§II.E).
+func (nd *Nodes) AssembleSum(v []float64) {
+	nd.assemble(v, tagNodesRep+10, func(a, b float64) float64 { return a + b })
+}
+
+// AssembleMax combines shared-node values with max instead of addition
+// (used for marker fields and error indicators).
+func (nd *Nodes) AssembleMax(v []float64) {
+	nd.assemble(v, tagNodesRep+20, func(a, b float64) float64 {
+		if a > b {
+			return a
+		}
+		return b
+	})
+}
+
+// AssembleSumVec is AssembleSum for vectors with nc interleaved values per
+// node: v[node*nc+k].
+func (nd *Nodes) AssembleSumVec(nc int, v []float64) {
+	if len(v) != nc*len(nd.Keys) {
+		panic("core: AssembleSumVec vector length mismatch")
+	}
+	out := make(map[int][]float64, len(nd.reqLists))
+	for r, idx := range nd.reqLists {
+		vals := make([]float64, nc*len(idx))
+		for j, i := range idx {
+			copy(vals[j*nc:(j+1)*nc], v[int(i)*nc:(int(i)+1)*nc])
+		}
+		out[r] = vals
+	}
+	in := mpi.SparseExchange(nd.comm, out, tagNodesRep+30)
+	var ranks []int
+	for r := range in {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	for _, r := range ranks {
+		if r == nd.comm.Rank() {
+			continue
+		}
+		idx := nd.serveLists[r]
+		vals := in[r]
+		for j, i := range idx {
+			for k := 0; k < nc; k++ {
+				v[int(i)*nc+k] += vals[j*nc+k]
+			}
+		}
+	}
+	back := make(map[int][]float64, len(nd.serveLists))
+	for r, idx := range nd.serveLists {
+		vals := make([]float64, nc*len(idx))
+		for j, i := range idx {
+			copy(vals[j*nc:(j+1)*nc], v[int(i)*nc:(int(i)+1)*nc])
+		}
+		back[r] = vals
+	}
+	inBack := mpi.SparseExchange(nd.comm, back, tagNodesRep+32)
+	for r, vals := range inBack {
+		if r == nd.comm.Rank() {
+			continue
+		}
+		for j, i := range nd.reqLists[r] {
+			copy(v[int(i)*nc:(int(i)+1)*nc], vals[j*nc:(j+1)*nc])
+		}
+	}
+}

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/connectivity"
+	"repro/internal/mpi"
+	"repro/internal/octant"
+)
+
+func physOfPoint(g connectivity.Geometry, tree int32, p [3]int32) [3]float64 {
+	return g.X(tree, [3]float64{
+		connectivity.RefCoord(p[0]), connectivity.RefCoord(p[1]), connectivity.RefCoord(p[2]),
+	})
+}
+
+func buildNodes(c *mpi.Comm, conn *connectivity.Conn, level, maxl int8) (*Forest, *GhostLayer, *Nodes) {
+	f := New(c, conn, level)
+	f.Refine(true, maxl, fractalRefine(maxl))
+	f.Balance(BalanceFull)
+	f.Partition()
+	g := f.Ghost()
+	nd := f.Nodes(g)
+	return f, g, nd
+}
+
+func TestNodesUniformCounts(t *testing.T) {
+	conn := connectivity.UnitCube()
+	for _, p := range testRanks {
+		mpi.Run(p, func(c *mpi.Comm) {
+			f := New(c, conn, 2)
+			g := f.Ghost()
+			nd := f.Nodes(g)
+			want := int64(5 * 5 * 5) // (2^2+1)^3
+			if nd.NumGlobal != want {
+				t.Errorf("p=%d: nodes = %d, want %d", p, nd.NumGlobal, want)
+			}
+			// All corners independent on a uniform mesh.
+			for _, en := range nd.ElementNodes {
+				for c2 := 0; c2 < 8; c2++ {
+					if !en[c2].Independent() {
+						t.Fatalf("uniform mesh has hanging corner")
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestNodesUniformTorusCounts(t *testing.T) {
+	// Fully periodic 2x2x2 brick at level 1: a 4x4x4 periodic grid of
+	// elements has exactly 4^3 distinct nodes.
+	conn := connectivity.Brick(2, 2, 2, true, true, true)
+	mpi.Run(3, func(c *mpi.Comm) {
+		f := New(c, conn, 1)
+		g := f.Ghost()
+		nd := f.Nodes(g)
+		if nd.NumGlobal != 64 {
+			t.Errorf("torus nodes = %d, want 64", nd.NumGlobal)
+		}
+	})
+}
+
+func TestNodesGlobalIDsConsistent(t *testing.T) {
+	conn := connectivity.SixRotCubes()
+	for _, p := range []int{1, 3, 6} {
+		var serialCount int64
+		mpi.Run(p, func(c *mpi.Comm) {
+			_, _, nd := buildNodes(c, conn, 1, 3)
+			type kv struct {
+				K  connectivity.TreePoint
+				ID int64
+			}
+			var mine []kv
+			for i, k := range nd.Keys {
+				mine = append(mine, kv{k, nd.GlobalID[i]})
+			}
+			all := mpi.Allgather(c, mine)
+			if c.Rank() == 0 {
+				ids := map[connectivity.TreePoint]int64{}
+				used := map[int64]bool{}
+				for _, part := range all {
+					for _, e := range part {
+						if e.ID < 0 || e.ID >= nd.NumGlobal {
+							t.Fatalf("id %d out of range [0,%d)", e.ID, nd.NumGlobal)
+						}
+						if prev, ok := ids[e.K]; ok && prev != e.ID {
+							t.Fatalf("key %+v has ids %d and %d", e.K, prev, e.ID)
+						}
+						ids[e.K] = e.ID
+						used[e.ID] = true
+					}
+				}
+				if int64(len(ids)) != nd.NumGlobal || int64(len(used)) != nd.NumGlobal {
+					t.Fatalf("distinct keys %d, distinct ids %d, want %d", len(ids), len(used), nd.NumGlobal)
+				}
+				if p == 1 {
+					serialCount = nd.NumGlobal
+				} else if serialCount != 0 && nd.NumGlobal != serialCount {
+					t.Fatalf("node count varies with P")
+				}
+			}
+		})
+	}
+}
+
+func TestNodesLinearExactness(t *testing.T) {
+	// On a brick (piecewise-linear geometry that is globally affine), the
+	// trilinear space reproduces linear functions exactly, including across
+	// hanging faces and edges: every constrained corner's interpolated value
+	// must equal the linear function at the corner's physical position.
+	conn := connectivity.Brick(2, 2, 1, false, false, false)
+	lin := func(x [3]float64) float64 { return 1.5*x[0] - 2.25*x[1] + 0.5*x[2] + 3 }
+	for _, p := range []int{1, 4} {
+		mpi.Run(p, func(c *mpi.Comm) {
+			f, _, nd := buildNodes(c, conn, 1, 4)
+			g := conn.Geometry()
+			vals := make([]float64, len(nd.Keys))
+			for i, k := range nd.Keys {
+				vals[i] = lin(physOfPoint(g, k.Tree, [3]int32{k.X, k.Y, k.Z}))
+			}
+			hangingSeen := false
+			for ei, o := range f.Local {
+				for cc := 0; cc < 8; cc++ {
+					ref := nd.ElementNodes[ei][cc]
+					var v float64
+					for _, ni := range ref.Nodes {
+						v += vals[ni] * ref.Weight()
+					}
+					want := lin(physOfPoint(g, o.Tree, cornerPoint(o, cc)))
+					if math.Abs(v-want) > 1e-9 {
+						t.Fatalf("corner %d of %v: interpolated %v, want %v (refs %d)", cc, o, v, want, len(ref.Nodes))
+					}
+					if !ref.Independent() {
+						hangingSeen = true
+						if len(ref.Nodes) != 2 && len(ref.Nodes) != 4 {
+							t.Fatalf("hanging corner with %d anchors", len(ref.Nodes))
+						}
+					}
+				}
+			}
+			anyHanging := mpi.AllreduceOr(c, hangingSeen)
+			if !anyHanging {
+				t.Error("test mesh produced no hanging corners")
+			}
+		})
+	}
+}
+
+func TestNodesShellCanonicalGeometry(t *testing.T) {
+	// Canonicalization across the shell's rotated trees must identify
+	// points that coincide physically: the geometry position of the
+	// canonical key equals the geometry position of the original corner.
+	conn := connectivity.Shell(0.55, 1.0)
+	mpi.Run(4, func(c *mpi.Comm) {
+		f, _, nd := buildNodes(c, conn, 1, 3)
+		g := conn.Geometry()
+		for ei, o := range f.Local {
+			for cc := 0; cc < 8; cc++ {
+				ref := nd.ElementNodes[ei][cc]
+				if !ref.Independent() {
+					continue
+				}
+				k := nd.Keys[ref.Nodes[0]]
+				pk := physOfPoint(g, k.Tree, [3]int32{k.X, k.Y, k.Z})
+				pc := physOfPoint(g, o.Tree, cornerPoint(o, cc))
+				for a := 0; a < 3; a++ {
+					if math.Abs(pk[a]-pc[a]) > 1e-9 {
+						t.Fatalf("canonical key %+v at %v, corner at %v", k, pk, pc)
+					}
+				}
+			}
+		}
+	})
+}
+
+func TestNodesAssembleElementCounts(t *testing.T) {
+	// On a uniform unit-cube mesh, summing one contribution per element
+	// corner must yield 8 for interior nodes, 4 for face nodes, 2 for edge
+	// nodes, and 1 for corner nodes of the domain.
+	conn := connectivity.UnitCube()
+	mpi.Run(4, func(c *mpi.Comm) {
+		f := New(c, conn, 2)
+		g := f.Ghost()
+		nd := f.Nodes(g)
+		v := make([]float64, len(nd.Keys))
+		for ei := range f.Local {
+			for cc := 0; cc < 8; cc++ {
+				ref := nd.ElementNodes[ei][cc]
+				v[ref.Nodes[0]]++
+			}
+		}
+		nd.AssembleSum(v)
+		h := octant.Len(2)
+		for i, k := range nd.Keys {
+			want := 1.0
+			for _, coord := range [3]int32{k.X, k.Y, k.Z} {
+				if coord%h != 0 {
+					t.Fatalf("node %+v not on level-2 lattice", k)
+				}
+				if coord != 0 && coord != octant.RootLen {
+					want *= 2
+				}
+			}
+			if v[i] != want {
+				t.Errorf("node %+v count %v, want %v", k, v[i], want)
+			}
+		}
+	})
+}
+
+func TestNodesHangingAnchorsAreIndependent(t *testing.T) {
+	conn := connectivity.Shell(0.55, 1.0)
+	mpi.Run(3, func(c *mpi.Comm) {
+		f, _, nd := buildNodes(c, conn, 1, 3)
+		// Every anchor of a hanging corner must also appear as an
+		// independent corner reference somewhere or at least carry a valid
+		// global id.
+		for ei := range f.Local {
+			for cc := 0; cc < 8; cc++ {
+				ref := nd.ElementNodes[ei][cc]
+				for _, ni := range ref.Nodes {
+					if nd.GlobalID[ni] < 0 {
+						t.Fatalf("node %d has unresolved id", ni)
+					}
+				}
+			}
+		}
+		_ = nd
+	})
+}

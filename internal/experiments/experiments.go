@@ -1,0 +1,294 @@
+// Package experiments drives the reproductions of every table and figure
+// in the paper's evaluation (Figures 4, 5, 7, 9, 10). The cmd tools print
+// the tables; the repository-level benchmarks report the same quantities
+// as benchmark metrics. Core counts are emulated by goroutine ranks of the
+// in-process message-passing runtime (see DESIGN.md for the substitution
+// rationale); the reported *shapes* — who dominates, normalized costs,
+// parallel efficiencies — are the reproduction targets.
+//
+// Efficiency semantics on a serialized host: the rank goroutines share the
+// machine's physical cores, so wall-clock speedup with rank count is not
+// measurable. What is measurable — and is exactly the algorithmic quantity
+// the paper's efficiency isolates — is the growth of *work per octant*
+// with rank count: communication volume, duplicated boundary work, and
+// imbalance all surface as a rising normalized (seconds per million
+// octants, aggregated) cost. Perfect parallel algorithms keep it flat, so
+// weak-scaling efficiency is base-normalized-cost / scaled-normalized-cost,
+// and strong-scaling efficiency is base-wall-time / scaled-wall-time (the
+// total work is fixed, so flat wall time on a serialized host means no
+// added overhead).
+package experiments
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/advect"
+	"repro/internal/connectivity"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/octant"
+	"repro/internal/rhea"
+	"repro/internal/seismic"
+)
+
+// FractalRefiner reproduces the Figure 4 workload: "a fractal-type mesh
+// defined by recursively subdividing octants with child identifiers 0, 3,
+// 5 and 6 while not exceeding four levels of size difference".
+func FractalRefiner(maxLevel int8) func(octant.Octant) bool {
+	return func(o octant.Octant) bool {
+		if o.Level >= maxLevel {
+			return false
+		}
+		switch o.ChildID() {
+		case 0, 3, 5, 6:
+			return true
+		}
+		return false
+	}
+}
+
+// Fig4Row is one core-count row of the Figure 4 weak-scaling experiment.
+type Fig4Row struct {
+	Ranks     int
+	Level     int8
+	Octants   int64
+	PerRank   float64 // millions of octants per rank
+	NewSec    float64
+	RefineSec float64
+	PartSec   float64
+	BalSec    float64
+	GhostSec  float64
+	NodesSec  float64
+	// Normalized seconds per million octants processed (aggregate), the
+	// serialized-host analogue of the paper's bottom-chart metric for
+	// Balance and Nodes: flat values mean no parallel overhead.
+	BalNorm   float64
+	NodesNorm float64
+}
+
+// TotalAMRSec returns the summed runtime of all p4est algorithms.
+func (r Fig4Row) TotalAMRSec() float64 {
+	return r.NewSec + r.RefineSec + r.PartSec + r.BalSec + r.GhostSec + r.NodesSec
+}
+
+// timedPhase runs fn between barriers and returns the slowest rank's time.
+func timedPhase(c *mpi.Comm, fn func()) float64 {
+	c.Barrier()
+	t0 := time.Now()
+	fn()
+	local := time.Since(t0).Seconds()
+	return mpi.AllreduceMax(c, local)
+}
+
+// RunFig4 executes the six-octree fractal workload on the given rank count
+// with the given base refinement level (the paper multiplies the rank
+// count by eight for each level increment to keep octants per rank
+// constant).
+func RunFig4(ranks int, level int8) Fig4Row {
+	var row Fig4Row
+	conn := connectivity.SixRotCubes()
+	mpi.Run(ranks, func(c *mpi.Comm) {
+		var f *core.Forest
+		r := Fig4Row{Ranks: ranks, Level: level}
+		r.NewSec = timedPhase(c, func() { f = core.New(c, conn, level) })
+		r.RefineSec = timedPhase(c, func() { f.Refine(true, level+4, FractalRefiner(level+4)) })
+		r.PartSec = timedPhase(c, func() { f.Partition() })
+		r.BalSec = timedPhase(c, func() { f.Balance(core.BalanceFull) })
+		var g *core.GhostLayer
+		r.GhostSec = timedPhase(c, func() { g = f.Ghost() })
+		r.NodesSec = timedPhase(c, func() { f.Nodes(g) })
+		r.Octants = f.NumGlobal()
+		r.PerRank = float64(r.Octants) / float64(ranks) / 1e6
+		if r.Octants > 0 {
+			moct := float64(r.Octants) / 1e6
+			r.BalNorm = r.BalSec / moct
+			r.NodesNorm = r.NodesSec / moct
+		}
+		if c.Rank() == 0 {
+			row = r
+		}
+	})
+	return row
+}
+
+// Fig5Row is one core-count row of the Figure 5 dynamic-AMR advection
+// weak-scaling experiment.
+type Fig5Row struct {
+	Ranks       int
+	Elements    int64
+	Unknowns    int64
+	AMRSec      float64
+	IntegSec    float64
+	AMRPercent  float64
+	SecPerStep  float64
+	NormPerStep float64 // seconds per step per element (aggregate)
+	ShippedPct  float64 // elements shipped during repartitioning
+}
+
+// RunFig5 runs the dG advection benchmark: nsteps steps with adaptation
+// and repartitioning every adaptEvery steps (the paper uses 32).
+func RunFig5(ranks int, opts advect.Options, nsteps, adaptEvery int) Fig5Row {
+	var row Fig5Row
+	mpi.Run(ranks, func(c *mpi.Comm) {
+		s := advect.NewShell(c, opts)
+		s.Met.Reset()
+		dt := s.DT()
+		var amr, integ float64
+		for step := 1; step <= nsteps; step++ {
+			integ += timedPhase(c, func() { s.Step(dt) })
+			if adaptEvery > 0 && step%adaptEvery == 0 {
+				amr += timedPhase(c, func() {
+					if s.Adapt() {
+						dt = s.DT()
+					}
+				})
+			}
+		}
+		shipped := mpi.AllreduceSum(c, s.Met.Count("elements_shipped"))
+		if c.Rank() == 0 {
+			row = Fig5Row{
+				Ranks:    ranks,
+				Elements: s.F.NumGlobal(),
+				Unknowns: s.F.NumGlobal() * int64(s.Mesh.Np),
+				AMRSec:   amr, IntegSec: integ,
+				AMRPercent: 100 * amr / (amr + integ),
+				SecPerStep: (amr + integ) / float64(nsteps),
+			}
+			row.NormPerStep = row.SecPerStep / float64(row.Elements)
+			if row.Elements > 0 {
+				row.ShippedPct = 100 * float64(shipped) / float64(row.Elements)
+			}
+		}
+	})
+	return row
+}
+
+// Fig7Row is one core-count row of the Figure 7 mantle-convection runtime
+// breakdown.
+type Fig7Row struct {
+	Ranks  int
+	Report rhea.Report
+}
+
+// RunFig7 executes a mantle-convection nonlinear solve and returns the
+// solve / V-cycle / AMR runtime split.
+func RunFig7(ranks int, opts rhea.Options) Fig7Row {
+	var row Fig7Row
+	mpi.Run(ranks, func(c *mpi.Comm) {
+		m := rhea.New(c, opts)
+		rep := m.Run()
+		if c.Rank() == 0 {
+			row = Fig7Row{Ranks: ranks, Report: rep}
+		}
+	})
+	return row
+}
+
+// Fig9Row is one core-count row of the Figure 9 strong-scaling table for
+// global seismic wave propagation.
+type Fig9Row struct {
+	Ranks       int
+	Elements    int64
+	Unknowns    int64
+	MeshingSec  float64
+	WavePerStep float64
+	ParEff      float64 // filled by the caller relative to the base row
+	GFlops      float64
+}
+
+// RunFig9 builds the wavelength-adapted earth mesh and times both the
+// parallel mesh generation and the wave-propagation time step.
+func RunFig9(ranks int, opts seismic.Options, steps int) Fig9Row {
+	var row Fig9Row
+	mpi.Run(ranks, func(c *mpi.Comm) {
+		c.Barrier()
+		t0 := time.Now()
+		f := seismic.BuildEarthForest(c, opts)
+		s := seismic.NewSolver(c, f, opts, func(p [3]float64) seismic.Material {
+			r := norm3(p) * seismic.EarthRadiusKm
+			return seismic.PREMMaterial(r)
+		})
+		meshing := mpi.AllreduceMax(c, time.Since(t0).Seconds())
+
+		// Earthquake-like source + initial quiet state.
+		s.Source = seismic.RickerSource([3]float64{0, 0, 0.9}, [3]float64{0, 0, 1},
+			opts.FreqHz*500, 1, 0.05)
+		dt := s.DT()
+		c.Barrier()
+		t1 := time.Now()
+		for i := 0; i < steps; i++ {
+			s.Step(dt)
+		}
+		waveSec := mpi.AllreduceMax(c, time.Since(t1).Seconds()) / float64(steps)
+		flops := s.FlopsPerStep()
+		if c.Rank() == 0 {
+			row = Fig9Row{
+				Ranks:       ranks,
+				Elements:    s.F.NumGlobal(),
+				Unknowns:    s.F.NumGlobal() * int64(s.Mesh.Np) * seismic.NC,
+				MeshingSec:  meshing,
+				WavePerStep: waveSec,
+				GFlops:      flops / waveSec / 1e9,
+			}
+		}
+	})
+	return row
+}
+
+// Fig10Row is one device-count row of the Figure 10 weak-scaling table for
+// the single-precision device backend.
+type Fig10Row struct {
+	Devices      int
+	Elements     int64
+	MeshSec      float64
+	TransferSec  float64
+	WaveUsPerElt float64 // microseconds per step per element (aggregate)
+	ParEff       float64 // filled by caller relative to base row
+	GFlops       float64
+}
+
+// RunFig10 runs the device backend: host meshing, timed host-to-device
+// transfer, and single-precision wave propagation, reporting the paper's
+// normalized microseconds per time step per average elements per device.
+func RunFig10(ranks int, opts seismic.Options, steps int) Fig10Row {
+	var row Fig10Row
+	mpi.Run(ranks, func(c *mpi.Comm) {
+		c.Barrier()
+		t0 := time.Now()
+		f := seismic.BuildEarthForest(c, opts)
+		s := seismic.NewSolver(c, f, opts, func(p [3]float64) seismic.Material {
+			r := norm3(p) * seismic.EarthRadiusKm
+			return seismic.PREMMaterial(r)
+		})
+		meshing := mpi.AllreduceMax(c, time.Since(t0).Seconds())
+
+		dev := seismic.NewDevice(s)
+		transfer := mpi.AllreduceMax(c, dev.TransferSec)
+
+		dt := s.DT()
+		c.Barrier()
+		t1 := time.Now()
+		for i := 0; i < steps; i++ {
+			dev.Step(dt)
+		}
+		waveSec := mpi.AllreduceMax(c, time.Since(t1).Seconds()) / float64(steps)
+		flops := s.FlopsPerStep()
+		if c.Rank() == 0 {
+			elems := s.F.NumGlobal()
+			row = Fig10Row{
+				Devices:      ranks,
+				Elements:     elems,
+				MeshSec:      meshing,
+				TransferSec:  transfer,
+				WaveUsPerElt: waveSec * 1e6 / float64(elems),
+				GFlops:       flops / waveSec / 1e9,
+			}
+		}
+	})
+	return row
+}
+
+func norm3(p [3]float64) float64 {
+	return math.Sqrt(p[0]*p[0] + p[1]*p[1] + p[2]*p[2])
+}

@@ -1,0 +1,435 @@
+package mangll
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/connectivity"
+	"repro/internal/mpi"
+	"repro/internal/octant"
+)
+
+func sqrt(x float64) float64 { return math.Sqrt(x) }
+
+// linkAlignment derives the face-grid alignment flags from the inter-tree
+// transform (identity for intra-tree connections). See FaceLink.MapIndex.
+func linkAlignment(ft *connectivity.FaceTransform, myFace int) (swap, revI, revJ bool) {
+	if ft == nil {
+		return false, false, false
+	}
+	u, v := faceTangentAxes(myFace)
+	u2, su := imageAxis(ft, u)
+	v2, sv := imageAxis(ft, v)
+	up, vp := faceTangentAxes(int(ft.Face))
+	switch {
+	case u2 == up && v2 == vp:
+		return false, su < 0, sv < 0
+	case u2 == vp && v2 == up:
+		return true, sv < 0, su < 0
+	}
+	panic("mangll: degenerate face transform")
+}
+
+func imageAxis(ft *connectivity.FaceTransform, a int) (int, int32) {
+	for r := 0; r < 3; r++ {
+		if ft.A[r][a] != 0 {
+			return r, ft.A[r][a]
+		}
+	}
+	panic("mangll: singular face transform")
+}
+
+// buildLinks enumerates the face connections of all local elements. The
+// forest must be 2:1 balanced; neighbour leaves are found by the fast
+// binary searches the paper describes, in local storage or the ghost layer
+// at partition boundaries.
+func (m *Mesh) buildLinks() {
+	m.Links = m.Links[:0]
+	for e, o := range m.F.Local {
+		for f := 0; f < 6; f++ {
+			m.linkFace(int32(e), o, f)
+		}
+	}
+}
+
+func (m *Mesh) linkFace(e int32, o octant.Octant, f int) {
+	n := o.FaceNeighbor(f)
+	var ft *connectivity.FaceTransform
+	nbrFace := int8(f ^ 1)
+	if !n.Inside() {
+		x, ok := m.F.Conn.FaceXform(o.Tree, f)
+		if !ok {
+			m.Links = append(m.Links, FaceLink{Elem: e, Face: int8(f), Kind: LinkBoundary})
+			return
+		}
+		ft = &x
+		n = ft.Octant(n)
+		nbrFace = ft.Face
+	}
+	swap, revI, revJ := linkAlignment(ft, f)
+	base := FaceLink{
+		Elem: e, Face: int8(f), NbrFace: nbrFace,
+		Swap: swap, RevI: revI, RevJ: revJ,
+	}
+
+	leaf, idx, ghost, found := m.F.FindLeafOrGhost(m.G, n)
+	if found && leaf.Level <= n.Level {
+		switch {
+		case leaf.Level == n.Level:
+			l := base
+			l.Kind = LinkEqual
+			l.Nbr, l.NbrGhost = int32(idx), ghost
+			m.Links = append(m.Links, l)
+			return
+		case leaf.Level == n.Level-1:
+			l := base
+			l.Kind = LinkToCoarse
+			l.Nbr, l.NbrGhost = int32(idx), ghost
+			up, vp := faceTangentAxes(int(nbrFace))
+			nc := [3]int32{n.X, n.Y, n.Z}
+			qc := [3]int32{leaf.X, leaf.Y, leaf.Z}
+			if nc[up] != qc[up] {
+				l.QuadI = 1
+			}
+			if nc[vp] != qc[vp] {
+				l.QuadJ = 1
+			}
+			m.Links = append(m.Links, l)
+			return
+		default:
+			panic(fmt.Sprintf("mangll: face neighbour %v of %v coarser than 2:1 (level %d)", leaf, o, leaf.Level))
+		}
+	}
+
+	// Hanging face: four half-size neighbours across the face.
+	for _, ci := range octant.FaceCorners[nbrFace] {
+		child := n.Child(ci)
+		leaf, idx, ghost, found := m.F.FindLeafOrGhost(m.G, child)
+		if !found || leaf != child {
+			panic(fmt.Sprintf("mangll: missing half-size neighbour %v of %v (found %v, ok=%v)", child, o, leaf, found))
+		}
+		up, vp := faceTangentAxes(int(nbrFace))
+		bu := ci >> uint(up) & 1
+		bv := ci >> uint(vp) & 1
+		// Invert the index map to express the quadrant in my face frame.
+		a, b := bu, bv
+		if revI {
+			a = 1 - a
+		}
+		if revJ {
+			b = 1 - b
+		}
+		qi, qj := a, b
+		if swap {
+			qi, qj = b, a
+		}
+		l := base
+		l.Kind = LinkToFineQuad
+		l.Nbr, l.NbrGhost = int32(idx), ghost
+		l.QuadI, l.QuadJ = int8(qi), int8(qj)
+		m.Links = append(m.Links, l)
+	}
+}
+
+// buildGhostExchange precomputes the aligned per-rank element lists for
+// ghost field exchange: mirrors (local leaves some peer sees as ghosts) on
+// the send side, ghost slots by owner on the receive side. Both sides are
+// in curve order, so the lists align without further negotiation.
+func (m *Mesh) buildGhostExchange() {
+	m.sendElems = make(map[int][]int32)
+	for k, li := range m.G.Mirrors {
+		for _, r := range m.G.MirrorRanks[k] {
+			m.sendElems[r] = append(m.sendElems[r], int32(li))
+		}
+	}
+	m.recvElems = make(map[int][]int32)
+	for gi, r := range m.G.Owner {
+		m.recvElems[r] = append(m.recvElems[r], int32(gi))
+	}
+}
+
+// ExchangeGhost fills the ghost portion of a field array. field holds nc
+// values per node for NumLocal+NumGhost elements: the local part
+// [0, NumLocal*Np*nc) must be filled; the ghost part is received from the
+// owning ranks.
+func (m *Mesh) ExchangeGhost(nc int, field []float64) {
+	per := m.Np * nc
+	if len(field) != (m.NumLocal+m.NumGhost)*per {
+		panic("mangll: ExchangeGhost field length mismatch")
+	}
+	out := make(map[int][]float64, len(m.sendElems))
+	for r, list := range m.sendElems {
+		buf := make([]float64, len(list)*per)
+		for k, li := range list {
+			copy(buf[k*per:(k+1)*per], field[int(li)*per:(int(li)+1)*per])
+		}
+		out[r] = buf
+	}
+	in := mpi.SparseExchange(m.F.Comm, out, 300)
+	for r, list := range m.recvElems {
+		buf := in[r]
+		if len(buf) != len(list)*per {
+			panic("mangll: ghost exchange length mismatch")
+		}
+		for k, gi := range list {
+			dst := (m.NumLocal + int(gi)) * per
+			copy(field[dst:dst+per], buf[k*per:(k+1)*per])
+		}
+	}
+}
+
+// FaceValues extracts the neighbour's face values for a link, aligned to my
+// face grid, into out (length Nf per component). field is a full
+// local+ghost array with nc values per node; comp selects the component.
+// For LinkToCoarse the coarse neighbour's face is interpolated onto my
+// half-size face; for LinkToFineQuad the fine neighbour's face covers my
+// quadrant directly (callers evaluate at the fine nodes).
+func (m *Mesh) FaceValues(l *FaceLink, nc, comp int, field []float64, out []float64) {
+	np1 := m.Np1
+	nbrBase := int(l.Nbr)
+	if l.NbrGhost {
+		nbrBase += m.NumLocal
+	}
+	nbrBase *= m.Np * nc
+	fidx := m.FaceIdx[l.NbrFace]
+
+	// Gather the neighbour's full face in its own frame.
+	nb := m.scratchA()
+	for fn := 0; fn < m.Nf; fn++ {
+		nb[fn] = field[nbrBase+int(fidx[fn])*nc+comp]
+	}
+
+	switch l.Kind {
+	case LinkEqual, LinkToFineQuad:
+		// Direct alignment; for ToFineQuad the neighbour's face maps onto
+		// my quadrant's fine grid one-to-one.
+		for j := 0; j < np1; j++ {
+			for i := 0; i < np1; i++ {
+				i2, j2 := l.MapIndex(m.L.N, i, j)
+				out[i+np1*j] = nb[i2+np1*j2]
+			}
+		}
+	case LinkToCoarse:
+		// Interpolate the coarse face onto my quadrant (in the neighbour's
+		// frame), then align indices.
+		qi := m.Ilo
+		if l.QuadI == 1 {
+			qi = m.Ihi
+		}
+		qj := m.Ilo
+		if l.QuadJ == 1 {
+			qj = m.Ihi
+		}
+		w := m.scratchB()
+		tensor2ApplyBuf(np1, qi, qj, nb, w, m.scratchC())
+		for j := 0; j < np1; j++ {
+			for i := 0; i < np1; i++ {
+				i2, j2 := l.MapIndex(m.L.N, i, j)
+				out[i+np1*j] = w[i2+np1*j2]
+			}
+		}
+	default:
+		panic("mangll: FaceValues on boundary link")
+	}
+}
+
+// tensor2Apply computes out = (A (x) B) u on an n x n grid: out[i,j] =
+// sum_{p,q} A[i][p] B[j][q] u[p,q].
+func tensor2Apply(n int, a, b [][]float64, u, out []float64) {
+	tensor2ApplyBuf(n, a, b, u, out, make([]float64, n*n))
+}
+
+// tensor2ApplyBuf is tensor2Apply with caller-provided scratch (len n*n;
+// must not alias u or out).
+func tensor2ApplyBuf(n int, a, b [][]float64, u, out, tmp []float64) {
+	_ = tmp[n*n-1]
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			var s float64
+			ai := a[i]
+			for p := 0; p < n; p++ {
+				s += ai[p] * u[p+n*j]
+			}
+			tmp[i+n*j] = s
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			bj := b[j]
+			for q := 0; q < n; q++ {
+				s += bj[q] * tmp[i+n*q]
+			}
+			out[i+n*j] = s
+		}
+	}
+}
+
+// MyFaceValues extracts my own element's face values for a link into out.
+// For LinkToFineQuad, my coarse face is interpolated onto the quadrant's
+// fine grid (in my frame) so both sides of the flux are collocated.
+func (m *Mesh) MyFaceValues(l *FaceLink, nc, comp int, field []float64, out []float64) {
+	np1 := m.Np1
+	base := int(l.Elem) * m.Np * nc
+	fidx := m.FaceIdx[l.Face]
+	mine := m.scratchA()
+	for fn := 0; fn < m.Nf; fn++ {
+		mine[fn] = field[base+int(fidx[fn])*nc+comp]
+	}
+	if l.Kind == LinkToFineQuad {
+		qi := m.Ilo
+		if l.QuadI == 1 {
+			qi = m.Ihi
+		}
+		qj := m.Ilo
+		if l.QuadJ == 1 {
+			qj = m.Ihi
+		}
+		tensor2ApplyBuf(np1, qi, qj, mine, out, m.scratchC())
+		return
+	}
+	copy(out, mine)
+}
+
+// quadInterp returns the 1D interpolation matrices for the link's quadrant.
+func (m *Mesh) quadInterp(l *FaceLink) (qi, qj [][]float64) {
+	qi = m.Ilo
+	if l.QuadI == 1 {
+		qi = m.Ihi
+	}
+	qj = m.Ilo
+	if l.QuadJ == 1 {
+		qj = m.Ihi
+	}
+	return qi, qj
+}
+
+// InterpFaceToQuad interpolates values given at my full face's nodes onto
+// the fine grid of the link's quadrant (LinkToFineQuad only), in my frame.
+func (m *Mesh) InterpFaceToQuad(l *FaceLink, face, out []float64) {
+	qi, qj := m.quadInterp(l)
+	tensor2ApplyBuf(m.Np1, qi, qj, face, out, m.scratchC())
+}
+
+// ApplyD differentiates one element's nodal values along reference
+// direction a. u and out may alias.
+func (m *Mesh) ApplyD(a int, u, out []float64) {
+	if &u[0] == &out[0] {
+		tmp := make([]float64, len(u))
+		m.applyD1(a, u, tmp)
+		copy(out, tmp)
+		return
+	}
+	m.applyD1(a, u, out)
+}
+
+// LiftFace accumulates the surface contribution of a link into the volume
+// residual: dc[volume node] += MassInv * integral(g * phi) over the face
+// piece the link covers. g holds the flux difference at the link's flux
+// points: my face nodes for LinkEqual/LinkToCoarse, or the quadrant's fine
+// points (my frame) for LinkToFineQuad, where the integral is assembled
+// onto the coarse face basis through the weighted interpolation transpose.
+func (m *Mesh) LiftFace(l *FaceLink, g, dc []float64) {
+	np1 := m.Np1
+	base := int(l.Elem) * m.Np
+	fidx := m.FaceIdx[l.Face]
+	switch l.Kind {
+	case LinkEqual, LinkToCoarse:
+		for j := 0; j < np1; j++ {
+			for i := 0; i < np1; i++ {
+				fn := i + np1*j
+				vn := base + int(fidx[fn])
+				dc[vn] += m.MassInv[vn] * m.L.W[i] * m.L.W[j] * g[fn]
+			}
+		}
+	case LinkToFineQuad:
+		// Integrated contribution to coarse face nodes: (1/4) * I^T W g per
+		// axis, i.e. apply Pw[i][j] = 0.5*W[j]*I[j][i] in each direction.
+		pwi, pwj := m.PwLo, m.PwLo
+		if l.QuadI == 1 {
+			pwi = m.PwHi
+		}
+		if l.QuadJ == 1 {
+			pwj = m.PwHi
+		}
+		gi := m.scratchB()
+		tensor2ApplyBuf(np1, pwi, pwj, g, gi, m.scratchC())
+		for fn := 0; fn < m.Nf; fn++ {
+			vn := base + int(fidx[fn])
+			dc[vn] += m.MassInv[vn] * gi[fn]
+		}
+	default:
+		panic("mangll: LiftFace on boundary link")
+	}
+}
+
+// weightedTranspose returns Pw[i][j] = 0.5 * W[j] * I[j][i], the half-face
+// quadrature transfer operator.
+func weightedTranspose(l *LGL, in [][]float64) [][]float64 {
+	np1 := l.N + 1
+	out := make([][]float64, np1)
+	for i := 0; i < np1; i++ {
+		out[i] = make([]float64, np1)
+		for j := 0; j < np1; j++ {
+			out[i][j] = 0.5 * l.W[j] * in[j][i]
+		}
+	}
+	return out
+}
+
+// LiftFaceStrided is LiftFace for field arrays with nc interleaved
+// components per node, accumulating into component comp of dc.
+func (m *Mesh) LiftFaceStrided(l *FaceLink, nc, comp int, g, dc []float64) {
+	np1 := m.Np1
+	base := int(l.Elem) * m.Np
+	fidx := m.FaceIdx[l.Face]
+	switch l.Kind {
+	case LinkEqual, LinkToCoarse, LinkBoundary:
+		for j := 0; j < np1; j++ {
+			for i := 0; i < np1; i++ {
+				fn := i + np1*j
+				vn := base + int(fidx[fn])
+				dc[vn*nc+comp] += m.MassInv[vn] * m.L.W[i] * m.L.W[j] * g[fn]
+			}
+		}
+	case LinkToFineQuad:
+		pwi, pwj := m.PwLo, m.PwLo
+		if l.QuadI == 1 {
+			pwi = m.PwHi
+		}
+		if l.QuadJ == 1 {
+			pwj = m.PwHi
+		}
+		gi := m.scratchB()
+		tensor2ApplyBuf(np1, pwi, pwj, g, gi, m.scratchC())
+		for fn := 0; fn < m.Nf; fn++ {
+			vn := base + int(fidx[fn])
+			dc[vn*nc+comp] += m.MassInv[vn] * gi[fn]
+		}
+	}
+}
+
+// scratchA/B/C return per-mesh face-sized scratch buffers, allocated once.
+// A Mesh is owned by a single rank goroutine and its face kernels are
+// called serially, so the buffers never alias live data across calls (A
+// and B back distinct roles within one kernel; C is the tensor workspace).
+func (m *Mesh) scratchA() []float64 {
+	if m.sA == nil {
+		m.sA = make([]float64, m.Nf)
+	}
+	return m.sA
+}
+
+func (m *Mesh) scratchB() []float64 {
+	if m.sB == nil {
+		m.sB = make([]float64, m.Nf)
+	}
+	return m.sB
+}
+
+func (m *Mesh) scratchC() []float64 {
+	if m.sC == nil {
+		m.sC = make([]float64, m.Nf)
+	}
+	return m.sC
+}

@@ -1,0 +1,112 @@
+// Package metrics provides the lightweight timers, counters, and
+// parallel-efficiency helpers used by every experiment driver to produce
+// the paper's tables and figures.
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Registry accumulates named wall-clock timers and counters. It is safe
+// for concurrent use by the rank goroutines of one experiment.
+type Registry struct {
+	mu     sync.Mutex
+	timers map[string]time.Duration
+	counts map[string]int64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		timers: make(map[string]time.Duration),
+		counts: make(map[string]int64),
+	}
+}
+
+// Start begins timing `name` and returns the stop function.
+func (r *Registry) Start(name string) func() {
+	t0 := time.Now()
+	return func() {
+		d := time.Since(t0)
+		r.mu.Lock()
+		r.timers[name] += d
+		r.mu.Unlock()
+	}
+}
+
+// StartAdd times fn under `name`.
+func (r *Registry) StartAdd(name string, fn func()) {
+	stop := r.Start(name)
+	fn()
+	stop()
+}
+
+// AddDuration adds d to timer `name`.
+func (r *Registry) AddDuration(name string, d time.Duration) {
+	r.mu.Lock()
+	r.timers[name] += d
+	r.mu.Unlock()
+}
+
+// AddCount adds n to counter `name`.
+func (r *Registry) AddCount(name string, n int64) {
+	r.mu.Lock()
+	r.counts[name] += n
+	r.mu.Unlock()
+}
+
+// Total returns the accumulated duration of timer `name`.
+func (r *Registry) Total(name string) time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.timers[name]
+}
+
+// Count returns counter `name`.
+func (r *Registry) Count(name string) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counts[name]
+}
+
+// Names returns all timer names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.timers))
+	for n := range r.timers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Reset zeroes all timers and counters.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.timers = make(map[string]time.Duration)
+	r.counts = make(map[string]int64)
+}
+
+// Efficiency computes parallel efficiency for a weak-scaling pair: the
+// ratio of the base normalized time to the scaled normalized time.
+func Efficiency(baseTime, scaledTime float64) float64 {
+	if scaledTime == 0 {
+		return 1
+	}
+	return baseTime / scaledTime
+}
+
+// StrongEfficiency computes strong-scaling efficiency: measured speedup
+// over ideal speedup when scaling from baseP to p ranks.
+func StrongEfficiency(baseP, p int, baseTime, t float64) float64 {
+	if t == 0 {
+		return 1
+	}
+	ideal := float64(p) / float64(baseP)
+	speedup := baseTime / t
+	return speedup / ideal
+}

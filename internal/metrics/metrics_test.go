@@ -1,0 +1,81 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTimersAccumulate(t *testing.T) {
+	r := NewRegistry()
+	stop := r.Start("a")
+	time.Sleep(2 * time.Millisecond)
+	stop()
+	r.StartAdd("a", func() { time.Sleep(2 * time.Millisecond) })
+	if r.Total("a") < 4*time.Millisecond {
+		t.Fatalf("total = %v", r.Total("a"))
+	}
+	if r.Total("missing") != 0 {
+		t.Fatal("missing timer nonzero")
+	}
+}
+
+func TestCounters(t *testing.T) {
+	r := NewRegistry()
+	r.AddCount("x", 3)
+	r.AddCount("x", 4)
+	if r.Count("x") != 7 {
+		t.Fatalf("count = %d", r.Count("x"))
+	}
+	r.Reset()
+	if r.Count("x") != 0 || r.Total("a") != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	r := NewRegistry()
+	r.AddDuration("b", time.Second)
+	r.AddDuration("a", time.Second)
+	r.AddDuration("c", time.Second)
+	names := r.Names()
+	if len(names) != 3 || names[0] != "a" || names[2] != "c" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.AddCount("n", 1)
+				r.AddDuration("t", time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Count("n") != 800 {
+		t.Fatalf("count = %d", r.Count("n"))
+	}
+}
+
+func TestEfficiencyHelpers(t *testing.T) {
+	if e := Efficiency(1, 2); e != 0.5 {
+		t.Fatalf("eff = %v", e)
+	}
+	if e := Efficiency(1, 0); e != 1 {
+		t.Fatalf("eff zero = %v", e)
+	}
+	// Perfect strong scaling: doubling ranks halves the time.
+	if e := StrongEfficiency(1, 2, 1.0, 0.5); e != 1 {
+		t.Fatalf("strong = %v", e)
+	}
+	// No speedup at all: efficiency 1/2.
+	if e := StrongEfficiency(1, 2, 1.0, 1.0); e != 0.5 {
+		t.Fatalf("strong flat = %v", e)
+	}
+}

@@ -1,0 +1,184 @@
+package mpi
+
+// Collectives are implemented with simple star (root = 0) or point-to-point
+// exchange algorithms. At the rank counts this runtime targets (P <= a few
+// hundred goroutines) the asymptotic difference to tree-based algorithms is
+// irrelevant; what matters for the reproduction is the communication
+// *interface* the forest algorithms are written against.
+
+// Barrier blocks until all ranks have entered it.
+func (c *Comm) Barrier() {
+	if c.world.size == 1 {
+		return
+	}
+	if c.rank == 0 {
+		for i := 1; i < c.world.size; i++ {
+			c.recv(AnySource, tagBarrier)
+		}
+		for i := 1; i < c.world.size; i++ {
+			c.send(i, tagBarrier, nil)
+		}
+	} else {
+		c.send(0, tagBarrier, nil)
+		c.recv(0, tagBarrier)
+	}
+}
+
+// Bcast distributes root's value to all ranks and returns it; non-root ranks
+// pass their (ignored) local value.
+func Bcast[T any](c *Comm, root int, v T) T {
+	if c.world.size == 1 {
+		return v
+	}
+	if c.rank == root {
+		for i := 0; i < c.world.size; i++ {
+			if i != root {
+				c.send(i, tagBcast, v)
+			}
+		}
+		return v
+	}
+	p, _ := c.recv(root, tagBcast)
+	return p.(T)
+}
+
+// Gather collects one value from every rank at root, ordered by rank. Only
+// root receives a non-nil slice.
+func Gather[T any](c *Comm, root int, v T) []T {
+	if c.rank != root {
+		c.send(root, tagGather, v)
+		return nil
+	}
+	out := make([]T, c.world.size)
+	out[c.rank] = v
+	for i := 0; i < c.world.size; i++ {
+		if i == root {
+			continue
+		}
+		p, _ := c.recv(i, tagGather)
+		out[i] = p.(T)
+	}
+	return out
+}
+
+// Allgather collects one value from every rank on every rank, ordered by
+// rank. This is the collective the paper's Partition algorithm relies on
+// ("one call to MPI_Allgather with one long integer per core").
+func Allgather[T any](c *Comm, v T) []T {
+	all := Gather(c, 0, v)
+	return Bcast(c, 0, all)
+}
+
+// Allreduce combines every rank's value with op (which must be associative
+// and commutative) and returns the result on all ranks.
+func Allreduce[T any](c *Comm, v T, op func(a, b T) T) T {
+	all := Gather(c, 0, v)
+	if c.rank == 0 {
+		acc := all[0]
+		for _, x := range all[1:] {
+			acc = op(acc, x)
+		}
+		return Bcast(c, 0, acc)
+	}
+	var zero T
+	return Bcast(c, 0, zero)
+}
+
+// AllreduceSum returns the sum over all ranks of v.
+func AllreduceSum(c *Comm, v int64) int64 {
+	return Allreduce(c, v, func(a, b int64) int64 { return a + b })
+}
+
+// AllreduceSumFloat returns the floating-point sum over all ranks of v.
+// The reduction order is fixed (by rank), so results are deterministic.
+func AllreduceSumFloat(c *Comm, v float64) float64 {
+	return Allreduce(c, v, func(a, b float64) float64 { return a + b })
+}
+
+// AllreduceMax returns the maximum over all ranks of v.
+func AllreduceMax(c *Comm, v float64) float64 {
+	return Allreduce(c, v, func(a, b float64) float64 {
+		if a > b {
+			return a
+		}
+		return b
+	})
+}
+
+// AllreduceOr returns the logical OR over all ranks of v. Used by Balance to
+// detect fixpoint convergence of the ripple protocol.
+func AllreduceOr(c *Comm, v bool) bool {
+	return Allreduce(c, v, func(a, b bool) bool { return a || b })
+}
+
+// ExScan returns the exclusive prefix reduction of v by rank order: rank r
+// receives op(v_0, ..., v_{r-1}), and rank 0 receives zero.
+func ExScan[T any](c *Comm, v T, op func(a, b T) T) T {
+	all := Allgather(c, v)
+	var acc T
+	for i := 0; i < c.rank; i++ {
+		if i == 0 {
+			acc = all[0]
+		} else {
+			acc = op(acc, all[i])
+		}
+	}
+	return acc
+}
+
+// Alltoall exchanges one value with every rank: out[i] goes to rank i, and
+// the returned slice holds in[j] received from rank j. out must have length
+// Size. Ranks may pass their own slot through untouched.
+func Alltoall[T any](c *Comm, out []T, tag int) []T {
+	if len(out) != c.world.size {
+		panic("mpi: Alltoall slice length != world size")
+	}
+	in := make([]T, c.world.size)
+	for i, v := range out {
+		if i == c.rank {
+			in[i] = v
+			continue
+		}
+		c.Send(i, tag, v)
+	}
+	for i := 0; i < c.world.size; i++ {
+		if i == c.rank {
+			continue
+		}
+		p, _ := c.Recv(i, tag)
+		in[i] = p.(T)
+	}
+	return in
+}
+
+// SparseExchange uses tags tag and tag+1; callers must leave both free.
+//
+// SparseExchange sends out[i] to each rank i present in the map and returns
+// the payloads received, keyed by source rank. The set of communicating
+// pairs is discovered with an Alltoall of counts first, mirroring how the
+// p4est Ghost and Balance phases establish their communication patterns.
+func SparseExchange[T any](c *Comm, out map[int]T, tag int) map[int]T {
+	counts := make([]int, c.world.size)
+	for to := range out {
+		counts[to] = 1
+	}
+	incoming := Alltoall(c, counts, tag)
+	for to, v := range out {
+		if to == c.rank {
+			continue
+		}
+		c.Send(to, tag+1, v)
+	}
+	in := make(map[int]T)
+	if v, ok := out[c.rank]; ok {
+		in[c.rank] = v
+	}
+	for from, flag := range incoming {
+		if from == c.rank || flag == 0 {
+			continue
+		}
+		p, _ := c.Recv(from, tag+1)
+		in[from] = p.(T)
+	}
+	return in
+}

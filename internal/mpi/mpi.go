@@ -1,0 +1,182 @@
+// Package mpi provides an in-process SPMD message-passing runtime that
+// substitutes for MPI in the p4est/mangll reproduction. Each rank runs as a
+// goroutine inside a World; ranks communicate through tagged point-to-point
+// messages and collectives built on top of them.
+//
+// The interface deliberately mirrors the subset of MPI that the paper's
+// algorithms use (point-to-point transfer of octants, MPI_Allgather of one
+// long integer per core for Partition, allreduce for convergence flags), so
+// the forest algorithms read like their MPI formulations. Message payloads
+// are passed by reference for efficiency: the sender must not retain or
+// mutate a payload after sending it. All collectives must be called by every
+// rank of the communicator in the same order, as in MPI.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+)
+
+// AnySource matches messages from any sending rank in Recv.
+const AnySource = -1
+
+// internal tags used by collectives; user tags must be >= 0.
+const (
+	tagBarrier = -2
+	tagBcast   = -3
+	tagGather  = -4
+	tagScatter = -5
+	tagPtp     = -6 // reserved base for internal point-to-point phases
+)
+
+// World owns the mailboxes and statistics for a set of ranks.
+type World struct {
+	size  int
+	boxes []*mailbox
+	stats []Stats
+}
+
+// Comm is one rank's handle to the world. It is not safe for concurrent use
+// by multiple goroutines; each rank goroutine owns exactly one Comm.
+type Comm struct {
+	world *World
+	rank  int
+}
+
+// Rank returns the calling rank's id in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return c.world.size }
+
+// Run executes fn on size ranks concurrently and returns when all complete.
+// It panics if size < 1. A panic on any rank propagates to the caller.
+func Run(size int, fn func(*Comm)) {
+	err := RunErr(size, func(c *Comm) error {
+		fn(c)
+		return nil
+	})
+	if err != nil {
+		panic(err)
+	}
+}
+
+// RunErr executes fn on size ranks concurrently. The first non-nil error (by
+// rank order) is returned. A panicking rank re-panics in the caller.
+func RunErr(size int, fn func(*Comm) error) error {
+	if size < 1 {
+		return fmt.Errorf("mpi: world size %d < 1", size)
+	}
+	w := &World{size: size}
+	w.boxes = make([]*mailbox, size)
+	w.stats = make([]Stats, size)
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+	}
+	errs := make([]error, size)
+	panics := make([]any, size)
+	var wg sync.WaitGroup
+	wg.Add(size)
+	for r := 0; r < size; r++ {
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics[rank] = p
+				}
+			}()
+			errs[rank] = fn(&Comm{world: w, rank: rank})
+		}(r)
+	}
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// message is a single in-flight point-to-point payload.
+type message struct {
+	from    int
+	tag     int
+	payload any
+}
+
+// mailbox is an unbounded, tag-matched receive queue for one rank. Sends
+// never block (MPI buffered-send semantics), which rules out the send-send
+// deadlocks that the paper's algorithms avoid by protocol design.
+type mailbox struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []message
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) put(msg message) {
+	m.mu.Lock()
+	m.queue = append(m.queue, msg)
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// take blocks until a message matching (from, tag) is available and removes
+// it from the queue. from may be AnySource. Matching is FIFO per (from, tag)
+// pair, like MPI's non-overtaking rule for a single "channel".
+func (m *mailbox) take(from, tag int) message {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		for i, msg := range m.queue {
+			if msg.tag == tag && (from == AnySource || msg.from == from) {
+				m.queue = append(m.queue[:i], m.queue[i+1:]...)
+				return msg
+			}
+		}
+		m.cond.Wait()
+	}
+}
+
+// Send delivers payload to rank `to` with the given tag (tag >= 0). It never
+// blocks. Ownership of the payload transfers to the receiver.
+func (c *Comm) Send(to, tag int, payload any) {
+	if tag < 0 {
+		panic("mpi: user tags must be >= 0")
+	}
+	c.send(to, tag, payload)
+}
+
+func (c *Comm) send(to, tag int, payload any) {
+	if to < 0 || to >= c.world.size {
+		panic(fmt.Sprintf("mpi: send to invalid rank %d (size %d)", to, c.world.size))
+	}
+	st := &c.world.stats[c.rank]
+	st.MsgsSent++
+	st.BytesSent += payloadBytes(payload)
+	c.world.boxes[to].put(message{from: c.rank, tag: tag, payload: payload})
+}
+
+// Recv blocks until a message with the given tag arrives from rank `from`
+// (or any rank if from == AnySource) and returns its payload and source.
+func (c *Comm) Recv(from, tag int) (payload any, source int) {
+	if tag < 0 {
+		panic("mpi: user tags must be >= 0")
+	}
+	return c.recv(from, tag)
+}
+
+func (c *Comm) recv(from, tag int) (any, int) {
+	msg := c.world.boxes[c.rank].take(from, tag)
+	return msg.payload, msg.from
+}

@@ -1,0 +1,50 @@
+package mpi
+
+// Stats records per-rank communication counters. The paper characterizes its
+// algorithms partly by communication volume (e.g. Balance and Ghost "scale
+// roughly with the number of octants on the partition boundaries"); these
+// counters let tests and benchmarks verify that property.
+type Stats struct {
+	MsgsSent  int64
+	BytesSent int64
+}
+
+// Stats returns a copy of the calling rank's counters.
+func (c *Comm) Stats() Stats { return c.world.stats[c.rank] }
+
+// ResetStats zeroes the calling rank's counters.
+func (c *Comm) ResetStats() { c.world.stats[c.rank] = Stats{} }
+
+// payloadBytes estimates the wire size of a payload for the statistics. The
+// estimate covers the payload types used by the forest algorithms; unknown
+// types count a fixed envelope only.
+func payloadBytes(p any) int64 {
+	const envelope = 16 // from, tag, header
+	switch v := p.(type) {
+	case nil:
+		return envelope
+	case []byte:
+		return envelope + int64(len(v))
+	case []int32:
+		return envelope + 4*int64(len(v))
+	case []int:
+		return envelope + 8*int64(len(v))
+	case []int64:
+		return envelope + 8*int64(len(v))
+	case []uint64:
+		return envelope + 8*int64(len(v))
+	case []float64:
+		return envelope + 8*int64(len(v))
+	case int, int32, int64, uint64, float64, bool:
+		return envelope + 8
+	case Sizer:
+		return envelope + v.WireBytes()
+	default:
+		return envelope
+	}
+}
+
+// Sizer lets payload types report their wire size for the statistics.
+type Sizer interface {
+	WireBytes() int64
+}

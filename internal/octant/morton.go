@@ -1,0 +1,195 @@
+package octant
+
+import "sort"
+
+// Key is a Morton (z-order) index: the 3*MaxLevel-bit interleaving of an
+// octant's coordinates. Octants of any level are located by the key of their
+// first (lowest-coordinate) max-level descendant, which equals the key of
+// their own corner coordinates. Together with the level this induces the
+// total pre-order traversal of the octree used by the space-filling curve.
+type Key uint64
+
+// spread3 distributes the low 21 bits of v so that consecutive input bits
+// land three positions apart (standard 3D Morton magic numbers).
+func spread3(v uint64) uint64 {
+	v &= 0x1fffff
+	v = (v | v<<32) & 0x1f00000000ffff
+	v = (v | v<<16) & 0x1f0000ff0000ff
+	v = (v | v<<8) & 0x100f00f00f00f00f
+	v = (v | v<<4) & 0x10c30c30c30c30c3
+	v = (v | v<<2) & 0x1249249249249249
+	return v
+}
+
+// compact3 is the inverse of spread3.
+func compact3(v uint64) uint64 {
+	v &= 0x1249249249249249
+	v = (v | v>>2) & 0x10c30c30c30c30c3
+	v = (v | v>>4) & 0x100f00f00f00f00f
+	v = (v | v>>8) & 0x1f0000ff0000ff
+	v = (v | v>>16) & 0x1f00000000ffff
+	v = (v | v>>32) & 0x1fffff
+	return v
+}
+
+// MortonKey returns the z-order key of o's corner. Only valid for interior
+// coordinates (non-negative).
+func (o Octant) MortonKey() Key {
+	return Key(spread3(uint64(uint32(o.X))) |
+		spread3(uint64(uint32(o.Y)))<<1 |
+		spread3(uint64(uint32(o.Z)))<<2)
+}
+
+// FromMortonKey reconstructs an octant of the given level and tree from a
+// z-order key (the key's low bits below the level's alignment are dropped).
+func FromMortonKey(k Key, level int8, tree int32) Octant {
+	o := Octant{
+		X:     int32(compact3(uint64(k))),
+		Y:     int32(compact3(uint64(k) >> 1)),
+		Z:     int32(compact3(uint64(k) >> 2)),
+		Level: level,
+		Tree:  tree,
+	}
+	mask := ^(Len(level) - 1)
+	o.X &= mask
+	o.Y &= mask
+	o.Z &= mask
+	return o
+}
+
+// NumDescendants returns the number of max-level descendants of an octant at
+// the given level, i.e. the length of its key range on the space-filling
+// curve.
+func NumDescendants(level int8) uint64 {
+	return 1 << (3 * uint(MaxLevel-level))
+}
+
+// RangeEnd returns one past the last key covered by o on the curve.
+func (o Octant) RangeEnd() Key {
+	return o.MortonKey() + Key(NumDescendants(o.Level))
+}
+
+// FirstDescendant returns o's first descendant at the given deeper level.
+func (o Octant) FirstDescendant(level int8) Octant {
+	d := o
+	d.Level = level
+	return d
+}
+
+// LastDescendant returns o's last descendant at the given deeper level.
+func (o Octant) LastDescendant(level int8) Octant {
+	h := o.Len() - Len(level)
+	return Octant{X: o.X + h, Y: o.Y + h, Z: o.Z + h, Level: level, Tree: o.Tree}
+}
+
+// Compare orders octants by the space-filling curve across the whole forest:
+// first by tree, then by Morton key, then ancestors before descendants.
+// It returns -1, 0, or +1.
+func Compare(a, b Octant) int {
+	switch {
+	case a.Tree < b.Tree:
+		return -1
+	case a.Tree > b.Tree:
+		return 1
+	}
+	ka, kb := a.MortonKey(), b.MortonKey()
+	switch {
+	case ka < kb:
+		return -1
+	case ka > kb:
+		return 1
+	case a.Level < b.Level:
+		return -1
+	case a.Level > b.Level:
+		return 1
+	}
+	return 0
+}
+
+// Less reports Compare(a, b) < 0.
+func Less(a, b Octant) bool { return Compare(a, b) < 0 }
+
+// Sort sorts octants into space-filling-curve order.
+func Sort(o []Octant) {
+	sort.Slice(o, func(i, j int) bool { return Less(o[i], o[j]) })
+}
+
+// IsSorted reports whether o is in strictly ascending curve order with no
+// duplicates.
+func IsSorted(o []Octant) bool {
+	for i := 1; i < len(o); i++ {
+		if Compare(o[i-1], o[i]) >= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Linearize sorts the octants and removes duplicates and any octant that is
+// an ancestor of another, keeping the finest, so the result is a valid
+// (possibly incomplete) linear octree.
+func Linearize(o []Octant) []Octant {
+	Sort(o)
+	out := o[:0]
+	for _, q := range o {
+		for len(out) > 0 {
+			last := out[len(out)-1]
+			if last == q || last.IsAncestorOf(q) {
+				out = out[:len(out)-1]
+				continue
+			}
+			break
+		}
+		out = append(out, q)
+	}
+	// The pass above removes ancestors that precede descendants; in curve
+	// order an ancestor always precedes its descendants, but a duplicate of
+	// the *descendant* could also precede (equal) — handled by == above.
+	// Re-check: keep finest when one contains the next.
+	final := out[:0]
+	for _, q := range out {
+		if len(final) > 0 && final[len(final)-1].IsAncestorOf(q) {
+			final = final[:len(final)-1]
+		}
+		final = append(final, q)
+	}
+	return final
+}
+
+// SearchContaining returns the index in the sorted leaf array of the leaf
+// that contains q (q may be finer than the leaf), or -1 if no leaf does.
+// This is the O(log N) binary search the paper attributes to the total
+// ordering of the space-filling curve.
+func SearchContaining(leaves []Octant, q Octant) int {
+	// Find the last leaf whose curve position is <= q's first descendant.
+	i := sort.Search(len(leaves), func(i int) bool {
+		return Compare(leaves[i], q) > 0
+	}) - 1
+	if i >= 0 && leaves[i].Contains(q) {
+		return i
+	}
+	// q might be an ancestor of the found leaf (possible when q is coarser
+	// than the mesh): also accept a leaf contained in q.
+	if i+1 < len(leaves) && q.Contains(leaves[i+1]) {
+		return i + 1
+	}
+	if i >= 0 && q.Contains(leaves[i]) {
+		return i
+	}
+	return -1
+}
+
+// SearchOverlapRange returns the half-open index range [lo, hi) of sorted
+// leaves that overlap octant q's region.
+func SearchOverlapRange(leaves []Octant, q Octant) (lo, hi int) {
+	first, end := q.MortonKey(), q.RangeEnd()
+	lo = sort.Search(len(leaves), func(i int) bool {
+		return leaves[i].Tree > q.Tree ||
+			(leaves[i].Tree == q.Tree && leaves[i].RangeEnd() > first)
+	})
+	hi = sort.Search(len(leaves), func(i int) bool {
+		return leaves[i].Tree > q.Tree ||
+			(leaves[i].Tree == q.Tree && leaves[i].MortonKey() >= end)
+	})
+	return lo, hi
+}

@@ -1,0 +1,458 @@
+package seismic
+
+import (
+	"math"
+
+	"repro/internal/connectivity"
+	"repro/internal/core"
+	"repro/internal/mangll"
+	"repro/internal/metrics"
+	"repro/internal/mpi"
+)
+
+// NC is the number of fields per node: velocity (3) and the symmetric
+// strain tensor (6: xx yy zz yz xz xy).
+const NC = 9
+
+// Options configure the wave propagation solver.
+type Options struct {
+	Degree   int // polynomial degree (paper: N = 6 and N = 7)
+	CFL      float64
+	FreqHz   float64 // source frequency used for wavelength meshing
+	PPW      float64 // points per wavelength (paper: "at least 10")
+	MaxLevel int8
+	MinLevel int8
+}
+
+// DefaultOptions mirrors the paper's setup at laptop scale.
+func DefaultOptions() Options {
+	return Options{Degree: 4, CFL: 0.4, FreqHz: 0.002, PPW: 8, MaxLevel: 5, MinLevel: 1}
+}
+
+// Solver advances the velocity-strain elastic system on a forest mesh.
+type Solver struct {
+	Opts Options
+	Comm *mpi.Comm
+	Conn *connectivity.Conn
+	F    *core.Forest
+	Mesh *mangll.Mesh
+	LGL  *mangll.LGL
+	Met  *metrics.Registry
+
+	// Q holds the 9 fields per node, local elements only.
+	Q    []float64
+	Time float64
+
+	MatFn func(p [3]float64) Material
+	mat   []Material // per local node
+
+	rk  mangll.LSRK45
+	buf []float64 // local+ghost work array
+
+	// Source, if non-nil, adds a body-force density to the velocity
+	// equations: f(t, x).
+	Source func(t float64, p [3]float64) [3]float64
+
+	maxVp float64
+}
+
+// NewSolver builds a solver over an existing (balanced, partitioned)
+// forest with the given material model.
+func NewSolver(comm *mpi.Comm, f *core.Forest, opts Options, matFn func(p [3]float64) Material) *Solver {
+	s := &Solver{
+		Opts: opts, Comm: comm, Conn: f.Conn, F: f,
+		LGL: mangll.NewLGL(opts.Degree), MatFn: matFn,
+		Met: metrics.NewRegistry(),
+	}
+	s.rebuild()
+	s.Q = make([]float64, s.Mesh.NumLocal*s.Mesh.Np*NC)
+	return s
+}
+
+func (s *Solver) rebuild() {
+	g := s.F.Ghost()
+	s.Mesh = mangll.NewMesh(s.F, g, s.LGL)
+	m := s.Mesh
+	s.mat = make([]Material, m.NumLocal*m.Np)
+	vp := 0.0
+	for i := range s.mat {
+		s.mat[i] = s.MatFn([3]float64{m.X[0][i], m.X[1][i], m.X[2][i]})
+		if v := s.mat[i].Vp(); v > vp {
+			vp = v
+		}
+	}
+	s.maxVp = mpi.AllreduceMax(s.Comm, vp)
+	s.buf = make([]float64, (m.NumLocal+m.NumGhost)*m.Np*NC)
+}
+
+// DT returns the CFL-limited time step.
+func (s *Solver) DT() float64 {
+	n := float64(s.Opts.Degree)
+	return s.Opts.CFL * s.Mesh.MinLen / (s.maxVp * (2*n + 1))
+}
+
+// stress computes the stress components from the strain components of one
+// node: sigma = 2 mu E + lambda tr(E) I, ordered xx yy zz yz xz xy.
+func stress(mat *Material, e []float64) (sxx, syy, szz, syz, sxz, sxy float64) {
+	tr := e[0] + e[1] + e[2]
+	l, mu := mat.Lambda, mat.Mu
+	sxx = 2*mu*e[0] + l*tr
+	syy = 2*mu*e[1] + l*tr
+	szz = 2*mu*e[2] + l*tr
+	syz = 2 * mu * e[3]
+	sxz = 2 * mu * e[4]
+	sxy = 2 * mu * e[5]
+	return
+}
+
+// fluxNormal evaluates F(q).n for the velocity-strain system at one point
+// with unit normal n: the terms whose divergence the system evolves.
+func fluxNormal(mat *Material, q []float64, n [3]float64, out []float64) {
+	sxx, syy, szz, syz, sxz, sxy := stress(mat, q[3:])
+	ir := 1 / mat.Rho
+	// velocity rows: -(1/rho) sigma . n
+	out[0] = -ir * (sxx*n[0] + sxy*n[1] + sxz*n[2])
+	out[1] = -ir * (sxy*n[0] + syy*n[1] + syz*n[2])
+	out[2] = -ir * (sxz*n[0] + syz*n[1] + szz*n[2])
+	// strain rows: -sym(v (x) n)
+	vx, vy, vz := q[0], q[1], q[2]
+	out[3] = -vx * n[0]
+	out[4] = -vy * n[1]
+	out[5] = -vz * n[2]
+	out[6] = -(vy*n[2] + vz*n[1]) / 2
+	out[7] = -(vx*n[2] + vz*n[0]) / 2
+	out[8] = -(vx*n[1] + vy*n[0]) / 2
+}
+
+// RHS computes dq/dt: non-conservative volume derivatives plus the
+// dissipative Rusanov interface flux and the free-surface boundary flux.
+func (s *Solver) RHS(t float64, q, dq []float64) {
+	m := s.Mesh
+	np := m.Np
+	copy(s.buf[:m.NumLocal*np*NC], q)
+	s.Met.StartAdd("exchange", func() {
+		m.ExchangeGhost(NC, s.buf)
+	})
+
+	// Volume terms.
+	s.Met.StartAdd("volume", func() {
+		sig := make([][6]float64, np)
+		der := make([]float64, np)
+		field := make([]float64, np)
+		// dfdx[b][comp index in a 9-slot layout]
+		grads := make([][3]float64, np*NC)
+		for e := 0; e < m.NumLocal; e++ {
+			base := e * np
+			// stress at nodes
+			for nn := 0; nn < np; nn++ {
+				i := (base + nn) * NC
+				mt := &s.mat[base+nn]
+				sxx, syy, szz, syz, sxz, sxy := stress(mt, q[i+3:i+9])
+				sig[nn] = [6]float64{sxx, syy, szz, syz, sxz, sxy}
+			}
+			// physical gradients of v (3 comps) and sigma (6 comps)
+			for c := 0; c < NC; c++ {
+				for nn := 0; nn < np; nn++ {
+					if c < 3 {
+						field[nn] = q[(base+nn)*NC+c]
+					} else {
+						field[nn] = sig[nn][c-3]
+					}
+				}
+				for nn := 0; nn < np; nn++ {
+					grads[nn*NC+c] = [3]float64{}
+				}
+				for r := 0; r < 3; r++ {
+					m.ApplyD(r, field, der)
+					for nn := 0; nn < np; nn++ {
+						gj := 1 / m.Jac[base+nn]
+						g := &grads[nn*NC+c]
+						g[0] += gj * m.Gi[r][0][base+nn] * der[nn]
+						g[1] += gj * m.Gi[r][1][base+nn] * der[nn]
+						g[2] += gj * m.Gi[r][2][base+nn] * der[nn]
+					}
+				}
+			}
+			for nn := 0; nn < np; nn++ {
+				i := (base + nn) * NC
+				ir := 1 / s.mat[base+nn].Rho
+				// dv_a = (1/rho) d sigma_ab / dx_b; sigma rows are comps 3..8.
+				gs := grads[nn*NC:]
+				dq[i+0] += ir * (gs[3][0] + gs[8][1] + gs[7][2])
+				dq[i+1] += ir * (gs[8][0] + gs[4][1] + gs[6][2])
+				dq[i+2] += ir * (gs[7][0] + gs[6][1] + gs[5][2])
+				// dE = sym grad v.
+				dq[i+3] += gs[0][0]
+				dq[i+4] += gs[1][1]
+				dq[i+5] += gs[2][2]
+				dq[i+6] += (gs[1][2] + gs[2][1]) / 2
+				dq[i+7] += (gs[0][2] + gs[2][0]) / 2
+				dq[i+8] += (gs[0][1] + gs[1][0]) / 2
+			}
+		}
+	})
+
+	// Surface terms.
+	s.Met.StartAdd("surface", func() {
+		nf := m.Nf
+		mine := make([]float64, nf*NC)
+		theirs := make([]float64, nf*NC)
+		xs := make([][3]float64, nf)
+		area := make([][3]float64, nf)
+		g := make([]float64, nf)
+		fm := make([]float64, NC)
+		fp := make([]float64, NC)
+		gAll := make([][]float64, NC)
+		for c := range gAll {
+			gAll[c] = make([]float64, nf)
+		}
+		comp := make([]float64, nf)
+		for li := range m.Links {
+			l := &m.Links[li]
+			if l.Kind == mangll.LinkBoundary {
+				s.boundaryFlux(l, q, gAll, comp, xs, area)
+				for c := 0; c < NC; c++ {
+					s.liftComp(l, c, gAll[c], dq)
+				}
+				continue
+			}
+			for c := 0; c < NC; c++ {
+				m.MyFaceValues(l, NC, c, s.buf, comp)
+				copy(mine[c*nf:(c+1)*nf], comp)
+				m.FaceValues(l, NC, c, s.buf, comp)
+				copy(theirs[c*nf:(c+1)*nf], comp)
+			}
+			s.fluxGeometry(l, xs, area)
+			for fn := 0; fn < nf; fn++ {
+				av := area[fn]
+				sa := math.Sqrt(av[0]*av[0] + av[1]*av[1] + av[2]*av[2])
+				if sa == 0 {
+					continue
+				}
+				n := [3]float64{av[0] / sa, av[1] / sa, av[2] / sa}
+				mt := s.MatFn(xs[fn])
+				var qm, qp [NC]float64
+				for c := 0; c < NC; c++ {
+					qm[c] = mine[c*nf+fn]
+					qp[c] = theirs[c*nf+fn]
+				}
+				fluxNormal(&mt, qm[:], n, fm)
+				fluxNormal(&mt, qp[:], n, fp)
+				alpha := mt.Vp()
+				for c := 0; c < NC; c++ {
+					// G = Fn(q-) - F* with Rusanov F*.
+					gAll[c][fn] = sa * (0.5*(fm[c]-fp[c]) + 0.5*alpha*(qp[c]-qm[c]))
+				}
+			}
+			_ = g
+			for c := 0; c < NC; c++ {
+				s.liftComp(l, c, gAll[c], dq)
+			}
+		}
+	})
+
+	// Body-force source.
+	if s.Source != nil {
+		for i := 0; i < m.NumLocal*np; i++ {
+			f := s.Source(t, [3]float64{m.X[0][i], m.X[1][i], m.X[2][i]})
+			ir := 1 / s.mat[i].Rho
+			dq[i*NC+0] += ir * f[0]
+			dq[i*NC+1] += ir * f[1]
+			dq[i*NC+2] += ir * f[2]
+		}
+	}
+}
+
+// fluxGeometry evaluates the physical coordinates and outward area vectors
+// at the link's flux points.
+func (s *Solver) fluxGeometry(l *mangll.FaceLink, xs, area [][3]float64) {
+	m := s.Mesh
+	e := int(l.Elem)
+	nf := m.Nf
+	fx := make([]float64, nf)
+	for a := 0; a < 3; a++ {
+		for fn := 0; fn < nf; fn++ {
+			vn := int(m.FaceIdx[l.Face][fn])
+			fx[fn] = m.X[a][e*m.Np+vn]
+		}
+		if l.Kind == mangll.LinkToFineQuad {
+			out := make([]float64, nf)
+			m.InterpFaceToQuad(l, fx, out)
+			for fn := 0; fn < nf; fn++ {
+				xs[fn][a] = out[fn]
+			}
+		} else {
+			for fn := 0; fn < nf; fn++ {
+				xs[fn][a] = fx[fn]
+			}
+		}
+		for fn := 0; fn < nf; fn++ {
+			fx[fn] = m.FaceArea[l.Face][a][e*nf+fn]
+		}
+		if l.Kind == mangll.LinkToFineQuad {
+			out := make([]float64, nf)
+			m.InterpFaceToQuad(l, fx, out)
+			for fn := 0; fn < nf; fn++ {
+				area[fn][a] = out[fn]
+			}
+		} else {
+			for fn := 0; fn < nf; fn++ {
+				area[fn][a] = fx[fn]
+			}
+		}
+	}
+}
+
+// boundaryFlux applies the free-surface condition sigma.n = 0 weakly:
+// the traction is reflected, velocities pass through.
+func (s *Solver) boundaryFlux(l *mangll.FaceLink, q []float64, gAll [][]float64, comp []float64, xs, area [][3]float64) {
+	m := s.Mesh
+	nf := m.Nf
+	s.fluxGeometry(l, xs, area)
+	mine := make([]float64, nf*NC)
+	for c := 0; c < NC; c++ {
+		m.MyFaceValues(l, NC, c, s.buf, comp)
+		copy(mine[c*nf:(c+1)*nf], comp)
+	}
+	for fn := 0; fn < nf; fn++ {
+		av := area[fn]
+		sa := math.Sqrt(av[0]*av[0] + av[1]*av[1] + av[2]*av[2])
+		for c := 0; c < NC; c++ {
+			gAll[c][fn] = 0
+		}
+		if sa == 0 {
+			continue
+		}
+		n := [3]float64{av[0] / sa, av[1] / sa, av[2] / sa}
+		mt := s.MatFn(xs[fn])
+		var qm [NC]float64
+		for c := 0; c < NC; c++ {
+			qm[c] = mine[c*nf+fn]
+		}
+		// Traction of the interior state.
+		sxx, syy, szz, syz, sxz, sxy := stress(&mt, qm[3:])
+		tau := [3]float64{
+			sxx*n[0] + sxy*n[1] + sxz*n[2],
+			sxy*n[0] + syy*n[1] + syz*n[2],
+			sxz*n[0] + syz*n[1] + szz*n[2],
+		}
+		ir := 1 / mt.Rho
+		// G_v = Fn_v(q-) - F*_v with sigma+.n = -sigma-.n, v+ = v-:
+		// F*_v = 0, so G_v = -(1/rho) tau.
+		gAll[0][fn] = -sa * ir * tau[0]
+		gAll[1][fn] = -sa * ir * tau[1]
+		gAll[2][fn] = -sa * ir * tau[2]
+	}
+}
+
+// liftComp lifts one component's integrated face flux into dq.
+func (s *Solver) liftComp(l *mangll.FaceLink, c int, g []float64, dq []float64) {
+	m := s.Mesh
+	// LiftFace works on stride-1 fields; use a strided adapter.
+	m.LiftFaceStrided(l, NC, c, g, dq)
+}
+
+// Step advances one LSRK4(5) step.
+func (s *Solver) Step(dt float64) {
+	stop := s.Met.Start("waveprop")
+	s.rk.Step(s.Q, s.Time, dt, func(tt float64, u, du []float64) {
+		s.RHS(tt, u, du)
+	})
+	s.Time += dt
+	stop()
+}
+
+// Energy returns the global elastic energy 1/2 rho |v|^2 + 1/2 sigma:E.
+func (s *Solver) Energy() float64 {
+	m := s.Mesh
+	np1 := m.Np1
+	var sum float64
+	for e := 0; e < m.NumLocal; e++ {
+		n := 0
+		for k := 0; k < np1; k++ {
+			for j := 0; j < np1; j++ {
+				for i := 0; i < np1; i++ {
+					idx := e*m.Np + n
+					w := m.L.W[i] * m.L.W[j] * m.L.W[k] * m.Jac[idx]
+					q := s.Q[idx*NC:]
+					mt := &s.mat[idx]
+					kin := 0.5 * mt.Rho * (q[0]*q[0] + q[1]*q[1] + q[2]*q[2])
+					sxx, syy, szz, syz, sxz, sxy := stress(mt, q[3:9])
+					el := 0.5 * (sxx*q[3] + syy*q[4] + szz*q[5] + 2*(syz*q[6]+sxz*q[7]+sxy*q[8]))
+					sum += w * (kin + el)
+					n++
+				}
+			}
+		}
+	}
+	return mpi.AllreduceSumFloat(s.Comm, sum)
+}
+
+// SetPlaneWave initializes an elastic plane wave with wave vector kv,
+// polarization d (unit), and speed taken from the material at each node:
+// v = -omega d cos(k.x), E = sym(d k) cos(k.x). Exact for homogeneous
+// media.
+func (s *Solver) SetPlaneWave(kv, d [3]float64, omega float64) {
+	m := s.Mesh
+	for i := 0; i < m.NumLocal*m.Np; i++ {
+		phase := kv[0]*m.X[0][i] + kv[1]*m.X[1][i] + kv[2]*m.X[2][i]
+		cp := math.Cos(phase)
+		q := s.Q[i*NC:]
+		q[0] = -omega * d[0] * cp
+		q[1] = -omega * d[1] * cp
+		q[2] = -omega * d[2] * cp
+		q[3] = d[0] * kv[0] * cp
+		q[4] = d[1] * kv[1] * cp
+		q[5] = d[2] * kv[2] * cp
+		q[6] = (d[1]*kv[2] + d[2]*kv[1]) / 2 * cp
+		q[7] = (d[0]*kv[2] + d[2]*kv[0]) / 2 * cp
+		q[8] = (d[0]*kv[1] + d[1]*kv[0]) / 2 * cp
+	}
+	s.Time = 0
+}
+
+// PlaneWaveError returns the global L2 error of the velocity fields
+// against the exact translated plane wave at the current time.
+func (s *Solver) PlaneWaveError(kv, d [3]float64, omega float64) float64 {
+	m := s.Mesh
+	np1 := m.Np1
+	var sum float64
+	for e := 0; e < m.NumLocal; e++ {
+		n := 0
+		for k := 0; k < np1; k++ {
+			for j := 0; j < np1; j++ {
+				for i := 0; i < np1; i++ {
+					idx := e*m.Np + n
+					w := m.L.W[i] * m.L.W[j] * m.L.W[k] * m.Jac[idx]
+					phase := kv[0]*m.X[0][idx] + kv[1]*m.X[1][idx] + kv[2]*m.X[2][idx] - omega*s.Time
+					cp := math.Cos(phase)
+					for a := 0; a < 3; a++ {
+						dd := s.Q[idx*NC+a] - (-omega * d[a] * cp)
+						sum += w * dd * dd
+					}
+					n++
+				}
+			}
+		}
+	}
+	return math.Sqrt(mpi.AllreduceSumFloat(s.Comm, sum))
+}
+
+// FlopsPerStep returns the hand-counted floating-point operations of one
+// full RK step on the current mesh (the accounting method the paper uses
+// for its GPU table).
+func (s *Solver) FlopsPerStep() float64 {
+	m := s.Mesh
+	np1 := float64(m.Np1)
+	np := np1 * np1 * np1
+	elems := float64(m.NumLocal)
+	// Volume: 9 fields x 3 directions x 2(N+1) MAC per node, plus metric
+	// application (9 comps x 3x3) and stress evaluation (~20/node).
+	volume := elems * np * (9*3*2*np1 + 9*9*2 + 30)
+	// Surface: 6 faces x (N+1)^2 points x ~200 ops.
+	surface := elems * 6 * np1 * np1 * 200
+	// RK update: 3 ops per dof per stage.
+	update := elems * np * NC * 3
+	local := (volume + surface + update) * 5
+	return mpi.AllreduceSumFloat(s.Comm, local)
+}

@@ -1,0 +1,140 @@
+package stokes
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mpi"
+)
+
+func TestEnergyConstantStateInvariant(t *testing.T) {
+	// With no heating, no diffusion gradient, and any velocity, a constant
+	// temperature field must remain constant (consistency of the SUPG
+	// discretization).
+	mpi.Run(2, func(c *mpi.Comm) {
+		_, op := buildCubeOp(c, 2, constEta)
+		e := NewEnergyOp(op, 0.1, 0)
+		tfield := make([]float64, op.NN)
+		for i := range tfield {
+			tfield[i] = 0.7
+		}
+		vel := make([]float64, 4*op.NN)
+		for i := 0; i < op.NN; i++ {
+			p := op.NodePos(i)
+			vel[4*i] = p[1]
+			vel[4*i+1] = -p[0]
+		}
+		dt := e.StableDT(vel)
+		for s := 0; s < 5; s++ {
+			e.Step(tfield, vel, dt, func(x [3]float64) (float64, bool) {
+				if cubeBC(x) {
+					return 0.7, true
+				}
+				return 0, false
+			})
+		}
+		for i, v := range tfield {
+			if math.Abs(v-0.7) > 1e-12 {
+				t.Fatalf("constant state drifted at node %d: %v", i, v)
+			}
+		}
+	})
+}
+
+func TestEnergyDiffusionDecaysToBoundary(t *testing.T) {
+	// Pure diffusion with cold walls: an interior hot spot must decay
+	// monotonically toward zero and respect the maximum principle.
+	mpi.Run(2, func(c *mpi.Comm) {
+		_, op := buildCubeOp(c, 2, constEta)
+		e := NewEnergyOp(op, 1.0, 0)
+		tfield := make([]float64, op.NN)
+		for i := range tfield {
+			p := op.NodePos(i)
+			dx, dy, dz := p[0]-0.5, p[1]-0.5, p[2]-0.5
+			tfield[i] = math.Exp(-(dx*dx + dy*dy + dz*dz) / 0.02)
+		}
+		vel := make([]float64, 4*op.NN)
+		bc := func(x [3]float64) (float64, bool) {
+			if cubeBC(x) {
+				return 0, true
+			}
+			return 0, false
+		}
+		maxT := func() float64 {
+			m := 0.0
+			for _, v := range tfield {
+				if v > m {
+					m = v
+				}
+			}
+			return mpi.AllreduceMax(c, m)
+		}
+		m0 := maxT()
+		dt := e.StableDT(vel)
+		for s := 0; s < 20; s++ {
+			e.Step(tfield, vel, dt, bc)
+		}
+		m1 := maxT()
+		if !(m1 < m0) {
+			t.Fatalf("diffusion did not decay: %v -> %v", m0, m1)
+		}
+		for _, v := range tfield {
+			if v < -0.02 || v > m0+1e-9 {
+				t.Fatalf("maximum principle violated: %v (initial max %v)", v, m0)
+			}
+		}
+	})
+}
+
+func TestEnergyAdvectionMovesHeat(t *testing.T) {
+	// Uniform velocity along +x transports a blob toward +x: the center of
+	// mass of the temperature field must move in that direction, and SUPG
+	// must keep the solution bounded (no blow-up at the discontinuity-free
+	// but advection-dominated limit kappa -> 0).
+	mpi.Run(2, func(c *mpi.Comm) {
+		_, op := buildCubeOp(c, 2, constEta)
+		e := NewEnergyOp(op, 1e-6, 0)
+		tfield := make([]float64, op.NN)
+		for i := range tfield {
+			p := op.NodePos(i)
+			dx, dy, dz := p[0]-0.3, p[1]-0.5, p[2]-0.5
+			tfield[i] = math.Exp(-(dx*dx + dy*dy + dz*dz) / 0.01)
+		}
+		vel := make([]float64, 4*op.NN)
+		for i := 0; i < op.NN; i++ {
+			vel[4*i] = 1 // u_x = 1
+		}
+		com := func() float64 {
+			var s, w float64
+			for i, v := range tfield {
+				if op.Nodes.Owner[i] != c.Rank() {
+					continue
+				}
+				s += v * op.NodePos(i)[0]
+				w += v
+			}
+			s = mpi.AllreduceSumFloat(c, s)
+			w = mpi.AllreduceSumFloat(c, w)
+			return s / w
+		}
+		x0 := com()
+		dt := e.StableDT(vel)
+		for s := 0; s < 15; s++ {
+			e.Step(tfield, vel, dt, func(x [3]float64) (float64, bool) {
+				if cubeBC(x) {
+					return 0, true
+				}
+				return 0, false
+			})
+		}
+		x1 := com()
+		if !(x1 > x0+0.01) {
+			t.Fatalf("blob did not advect: %v -> %v", x0, x1)
+		}
+		for _, v := range tfield {
+			if math.IsNaN(v) || v > 2 || v < -1 {
+				t.Fatalf("advection unstable: %v", v)
+			}
+		}
+	})
+}

@@ -1,0 +1,242 @@
+// Package stokes implements the variable-viscosity Stokes discretization
+// and solver stack of the paper's mantle-convection application Rhea
+// (§IV.A): trilinear (Q1-Q1) velocity-pressure finite elements on the
+// forest-of-octrees mesh with hanging-node constraints, pressure-projection
+// stabilization (Dohrmann & Bochev), a preconditioned MINRES Krylov solver,
+// and an algebraic multigrid V-cycle preconditioner for the viscous block.
+package stokes
+
+import (
+	"math"
+
+	"repro/internal/connectivity"
+	"repro/internal/octant"
+)
+
+// gauss2 is the 2-point Gauss rule per direction (weights are 1).
+var gauss2 = [2]float64{-1 / 1.7320508075688772, 1 / 1.7320508075688772}
+
+// ElemGeom holds the physical corner positions of a trilinear hexahedral
+// element in z-order.
+type ElemGeom [8][3]float64
+
+// CornerGeometry evaluates an element's corner positions through the
+// forest geometry.
+func CornerGeometry(g connectivity.Geometry, o octant.Octant) ElemGeom {
+	var eg ElemGeom
+	h := float64(o.Len()) / float64(octant.RootLen)
+	t0 := [3]float64{
+		connectivity.RefCoord(o.X), connectivity.RefCoord(o.Y), connectivity.RefCoord(o.Z),
+	}
+	for c := 0; c < 8; c++ {
+		xi := [3]float64{
+			t0[0] + h*float64(c&1),
+			t0[1] + h*float64(c>>1&1),
+			t0[2] + h*float64(c>>2&1),
+		}
+		eg[c] = g.X(o.Tree, xi)
+	}
+	return eg
+}
+
+// shape evaluates the 8 trilinear shape functions and their reference
+// gradients at (xi, eta, zeta) in [-1, 1]^3.
+func shape(xi, eta, zeta float64) (n [8]float64, dn [8][3]float64) {
+	s := [2]float64{1 - xi, 1 + xi}
+	t := [2]float64{1 - eta, 1 + eta}
+	u := [2]float64{1 - zeta, 1 + zeta}
+	ds := [2]float64{-1, 1}
+	for c := 0; c < 8; c++ {
+		i, j, k := c&1, c>>1&1, c>>2&1
+		n[c] = s[i] * t[j] * u[k] / 8
+		dn[c][0] = ds[i] * t[j] * u[k] / 8
+		dn[c][1] = s[i] * ds[j] * u[k] / 8
+		dn[c][2] = s[i] * t[j] * ds[k] / 8
+	}
+	return
+}
+
+// quadData holds the per-quadrature-point values needed by the element
+// integrals: physical shape gradients, shape values, and w*detJ.
+type quadData struct {
+	n   [8]float64
+	dx  [8][3]float64
+	wjb float64
+}
+
+// elemQuad evaluates the 2x2x2 quadrature data for an element.
+func elemQuad(eg *ElemGeom) [8]quadData {
+	var out [8]quadData
+	q := 0
+	for kk := 0; kk < 2; kk++ {
+		for jj := 0; jj < 2; jj++ {
+			for ii := 0; ii < 2; ii++ {
+				n, dn := shape(gauss2[ii], gauss2[jj], gauss2[kk])
+				// Jacobian dx/dxi.
+				var jmat [3][3]float64
+				for c := 0; c < 8; c++ {
+					for a := 0; a < 3; a++ {
+						for b := 0; b < 3; b++ {
+							jmat[a][b] += eg[c][a] * dn[c][b]
+						}
+					}
+				}
+				det := jmat[0][0]*(jmat[1][1]*jmat[2][2]-jmat[1][2]*jmat[2][1]) -
+					jmat[0][1]*(jmat[1][0]*jmat[2][2]-jmat[1][2]*jmat[2][0]) +
+					jmat[0][2]*(jmat[1][0]*jmat[2][1]-jmat[1][1]*jmat[2][0])
+				if det <= 0 {
+					panic("stokes: inverted element")
+				}
+				var inv [3][3]float64 // dxi/dx
+				for a := 0; a < 3; a++ {
+					for b := 0; b < 3; b++ {
+						a1, a2 := (a+1)%3, (a+2)%3
+						b1, b2 := (b+1)%3, (b+2)%3
+						inv[b][a] = (jmat[a1][b1]*jmat[a2][b2] - jmat[a1][b2]*jmat[a2][b1]) / det
+					}
+				}
+				qd := quadData{n: n, wjb: det}
+				for c := 0; c < 8; c++ {
+					for a := 0; a < 3; a++ {
+						qd.dx[c][a] = dn[c][0]*inv[0][a] + dn[c][1]*inv[1][a] + dn[c][2]*inv[2][a]
+					}
+				}
+				out[q] = qd
+				q++
+			}
+		}
+	}
+	return out
+}
+
+// ElemMatrices holds the dense element operators of the stabilized Q1-Q1
+// Stokes discretization: the 24x24 viscous block A, the 24x8 gradient
+// block B (so that the saddle system is [A B; B^T -C]), and the 8x8
+// pressure stabilization C.
+type ElemMatrices struct {
+	A [24][24]float64
+	B [24][8]float64
+	C [8][8]float64
+	// Volume and mean shape integrals (used by the Schur diagonal).
+	Vol  float64
+	MInt [8]float64
+}
+
+// BuildElemMatrices integrates the element operators for viscosity eta
+// (constant per element; the nonlinear rheology supplies it per element).
+func BuildElemMatrices(eg *ElemGeom, eta float64) *ElemMatrices {
+	em := &ElemMatrices{}
+	qd := elemQuad(eg)
+	var mass [8][8]float64
+	for q := range qd {
+		w := qd[q].wjb
+		em.Vol += w
+		for c := 0; c < 8; c++ {
+			em.MInt[c] += w * qd[q].n[c]
+			for d := 0; d < 8; d++ {
+				mass[c][d] += w * qd[q].n[c] * qd[q].n[d]
+			}
+		}
+		// Viscous block: 2 eta eps(u):eps(v).
+		for c := 0; c < 8; c++ {
+			for d := 0; d < 8; d++ {
+				var gdot float64
+				for g := 0; g < 3; g++ {
+					gdot += qd[q].dx[c][g] * qd[q].dx[d][g]
+				}
+				for a := 0; a < 3; a++ {
+					for b := 0; b < 3; b++ {
+						v := qd[q].dx[c][b] * qd[q].dx[d][a]
+						if a == b {
+							v += gdot
+						}
+						em.A[3*c+a][3*d+b] += w * eta * v
+					}
+				}
+			}
+		}
+		// Gradient block: B[(c,a)][d] = -int dN_c/dx_a * N_d.
+		for c := 0; c < 8; c++ {
+			for a := 0; a < 3; a++ {
+				for d := 0; d < 8; d++ {
+					em.B[3*c+a][d] -= w * qd[q].dx[c][a] * qd[q].n[d]
+				}
+			}
+		}
+	}
+	// Dohrmann-Bochev stabilization: (1/eta) * (M - m m^T / V).
+	for c := 0; c < 8; c++ {
+		for d := 0; d < 8; d++ {
+			em.C[c][d] = (mass[c][d] - em.MInt[c]*em.MInt[d]/em.Vol) / eta
+		}
+	}
+	return em
+}
+
+// ElemRHS integrates the buoyancy right-hand side int f . v for a body
+// force given at the element corners (trilinearly interpolated).
+func ElemRHS(eg *ElemGeom, force [8][3]float64) (rhs [24]float64) {
+	qd := elemQuad(eg)
+	for q := range qd {
+		w := qd[q].wjb
+		var fq [3]float64
+		for c := 0; c < 8; c++ {
+			for a := 0; a < 3; a++ {
+				fq[a] += qd[q].n[c] * force[c][a]
+			}
+		}
+		for c := 0; c < 8; c++ {
+			for a := 0; a < 3; a++ {
+				rhs[3*c+a] += w * qd[q].n[c] * fq[a]
+			}
+		}
+	}
+	return
+}
+
+// StrainRateII returns the second invariant sqrt(0.5 eps:eps) of the
+// strain rate at the element center, for corner velocities v (the quantity
+// the nonlinear rheology depends on).
+func StrainRateII(eg *ElemGeom, v [8][3]float64) float64 {
+	n, dn := shape(0, 0, 0)
+	_ = n
+	var jmat [3][3]float64
+	for c := 0; c < 8; c++ {
+		for a := 0; a < 3; a++ {
+			for b := 0; b < 3; b++ {
+				jmat[a][b] += eg[c][a] * dn[c][b]
+			}
+		}
+	}
+	det := jmat[0][0]*(jmat[1][1]*jmat[2][2]-jmat[1][2]*jmat[2][1]) -
+		jmat[0][1]*(jmat[1][0]*jmat[2][2]-jmat[1][2]*jmat[2][0]) +
+		jmat[0][2]*(jmat[1][0]*jmat[2][1]-jmat[1][1]*jmat[2][0])
+	var inv [3][3]float64
+	for a := 0; a < 3; a++ {
+		for b := 0; b < 3; b++ {
+			a1, a2 := (a+1)%3, (a+2)%3
+			b1, b2 := (b+1)%3, (b+2)%3
+			inv[b][a] = (jmat[a1][b1]*jmat[a2][b2] - jmat[a1][b2]*jmat[a2][b1]) / det
+		}
+	}
+	var grad [3][3]float64
+	for c := 0; c < 8; c++ {
+		var dx [3]float64
+		for a := 0; a < 3; a++ {
+			dx[a] = dn[c][0]*inv[0][a] + dn[c][1]*inv[1][a] + dn[c][2]*inv[2][a]
+		}
+		for a := 0; a < 3; a++ {
+			for b := 0; b < 3; b++ {
+				grad[a][b] += v[c][a] * dx[b]
+			}
+		}
+	}
+	var e2 float64
+	for a := 0; a < 3; a++ {
+		for b := 0; b < 3; b++ {
+			eab := (grad[a][b] + grad[b][a]) / 2
+			e2 += eab * eab
+		}
+	}
+	return math.Sqrt(e2 / 2)
+}

@@ -1,0 +1,152 @@
+package stokes
+
+import (
+	"math"
+	"testing"
+)
+
+func unitCubeGeom() ElemGeom {
+	var eg ElemGeom
+	for c := 0; c < 8; c++ {
+		eg[c] = [3]float64{float64(c & 1), float64(c >> 1 & 1), float64(c >> 2 & 1)}
+	}
+	return eg
+}
+
+func TestElemMatricesBasicProperties(t *testing.T) {
+	eg := unitCubeGeom()
+	em := BuildElemMatrices(&eg, 2.5)
+	if math.Abs(em.Vol-1) > 1e-12 {
+		t.Fatalf("volume = %v", em.Vol)
+	}
+	// Shape integrals sum to the volume.
+	var msum float64
+	for c := 0; c < 8; c++ {
+		msum += em.MInt[c]
+	}
+	if math.Abs(msum-1) > 1e-12 {
+		t.Fatalf("sum MInt = %v", msum)
+	}
+	// A is symmetric with nonnegative diagonal; rigid translations are in
+	// its nullspace.
+	for i := 0; i < 24; i++ {
+		if em.A[i][i] <= 0 {
+			t.Fatalf("A[%d][%d] = %v", i, i, em.A[i][i])
+		}
+		for j := 0; j < 24; j++ {
+			if math.Abs(em.A[i][j]-em.A[j][i]) > 1e-12 {
+				t.Fatalf("A not symmetric at %d,%d", i, j)
+			}
+		}
+	}
+	for a := 0; a < 3; a++ {
+		for i := 0; i < 24; i++ {
+			var s float64
+			for c := 0; c < 8; c++ {
+				s += em.A[i][3*c+a]
+			}
+			if math.Abs(s) > 1e-10 {
+				t.Fatalf("translation e_%d not in nullspace: row %d -> %v", a, i, s)
+			}
+		}
+	}
+	// C kills constant pressures.
+	for i := 0; i < 8; i++ {
+		var s float64
+		for j := 0; j < 8; j++ {
+			s += em.C[i][j]
+		}
+		if math.Abs(s) > 1e-12 {
+			t.Fatalf("C row %d sums to %v", i, s)
+		}
+	}
+	// Viscosity scales A linearly.
+	em2 := BuildElemMatrices(&eg, 5.0)
+	if math.Abs(em2.A[0][0]/em.A[0][0]-2) > 1e-12 {
+		t.Fatalf("A does not scale with eta: %v", em2.A[0][0]/em.A[0][0])
+	}
+}
+
+func TestElemRHSConstantForce(t *testing.T) {
+	eg := unitCubeGeom()
+	var force [8][3]float64
+	for c := 0; c < 8; c++ {
+		force[c] = [3]float64{0, 0, 2}
+	}
+	rhs := ElemRHS(&eg, force)
+	// Total z-force = integral of f_z = 2 * volume, distributed by shape
+	// integrals.
+	var fz float64
+	for c := 0; c < 8; c++ {
+		fz += rhs[3*c+2]
+		if math.Abs(rhs[3*c]) > 1e-14 || math.Abs(rhs[3*c+1]) > 1e-14 {
+			t.Fatalf("spurious lateral force at corner %d", c)
+		}
+	}
+	if math.Abs(fz-2) > 1e-12 {
+		t.Fatalf("total fz = %v", fz)
+	}
+}
+
+func TestStrainRateIIAnalytic(t *testing.T) {
+	eg := unitCubeGeom()
+	// Pure shear: u = (y, 0, 0): eps_xy = 1/2, eII = sqrt(eps:eps/2) = 1/2.
+	var v [8][3]float64
+	for c := 0; c < 8; c++ {
+		v[c] = [3]float64{eg[c][1], 0, 0}
+	}
+	if got := StrainRateII(&eg, v); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("shear eII = %v, want 0.5", got)
+	}
+	// Uniaxial extension u = (x, 0, 0): eps_xx = 1; eII = sqrt(1/2).
+	for c := 0; c < 8; c++ {
+		v[c] = [3]float64{eg[c][0], 0, 0}
+	}
+	if got := StrainRateII(&eg, v); math.Abs(got-math.Sqrt(0.5)) > 1e-12 {
+		t.Fatalf("extension eII = %v", got)
+	}
+	// Rigid rotation u = (-y, x, 0): zero strain rate.
+	for c := 0; c < 8; c++ {
+		v[c] = [3]float64{-eg[c][1], eg[c][0], 0}
+	}
+	if got := StrainRateII(&eg, v); got > 1e-12 {
+		t.Fatalf("rotation eII = %v, want 0", got)
+	}
+}
+
+func TestQuadratureExactForTrilinear(t *testing.T) {
+	// 2x2x2 Gauss must integrate products of trilinear functions exactly:
+	// check the element mass against the analytic 1D tensor values.
+	eg := unitCubeGeom()
+	em := BuildElemMatrices(&eg, 1)
+	// MInt[c] = prod over axes of int_0^1 N = 1/2 each => 1/8.
+	for c := 0; c < 8; c++ {
+		if math.Abs(em.MInt[c]-0.125) > 1e-13 {
+			t.Fatalf("MInt[%d] = %v", c, em.MInt[c])
+		}
+	}
+}
+
+func TestDistortedElementPositiveDefinite(t *testing.T) {
+	eg := ElemGeom{
+		{0, 0, 0}, {1.2, 0.1, 0}, {-0.1, 1, 0}, {1, 1.3, 0.1},
+		{0, 0.1, 1}, {1, 0, 1.1}, {0, 1, 0.9}, {1.1, 1, 1},
+	}
+	em := BuildElemMatrices(&eg, 1)
+	// x^T A x >= 0 for random-ish vectors (A is PSD).
+	for trial := 0; trial < 20; trial++ {
+		var x [24]float64
+		for i := range x {
+			x[i] = math.Sin(float64(trial*31 + i*7))
+		}
+		var q float64
+		for i := 0; i < 24; i++ {
+			for j := 0; j < 24; j++ {
+				q += x[i] * em.A[i][j] * x[j]
+			}
+		}
+		if q < -1e-10 {
+			t.Fatalf("A not PSD: %v", q)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package vtk
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/connectivity"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/octant"
+)
+
+func TestWriteGathered(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "forest.vtk")
+	mpi.Run(3, func(c *mpi.Comm) {
+		conn := connectivity.SixRotCubes()
+		f := core.New(c, conn, 1)
+		f.Refine(false, 3, func(o octant.Octant) bool { return o.Tree == 0 })
+		f.Balance(core.BalanceFull)
+		f.Partition()
+		vals := make([]float64, f.NumLocal())
+		for i := range vals {
+			vals[i] = float64(i)
+		}
+		if err := WriteGathered(path, f, CellField{Name: "val", Values: vals}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{"DATASET UNSTRUCTURED_GRID", "CELL_TYPES", "SCALARS mpirank", "SCALARS level", "SCALARS val"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q", want)
+		}
+	}
+	// 6 trees at level 1 = 48, tree 0 refined once more: 40 + 64 plus
+	// balance fill-in; just check a sane cell count line exists.
+	if !strings.Contains(s, "CELLS ") {
+		t.Fatal("no CELLS section")
+	}
+}
+
+func TestWriteLocalPerRank(t *testing.T) {
+	dir := t.TempDir()
+	mpi.Run(2, func(c *mpi.Comm) {
+		conn := connectivity.UnitCube()
+		f := core.New(c, conn, 1)
+		path := filepath.Join(dir, "rank"+string(rune('0'+c.Rank()))+".vtk")
+		if err := WriteLocal(path, f); err != nil {
+			t.Fatal(err)
+		}
+	})
+	for r := 0; r < 2; r++ {
+		p := filepath.Join(dir, "rank"+string(rune('0'+r))+".vtk")
+		if _, err := os.Stat(p); err != nil {
+			t.Fatalf("missing per-rank file: %v", err)
+		}
+	}
+}
