@@ -1,0 +1,29 @@
+# Tier-1 verification: vet, build, and the full test suite under the race
+# detector (the mpi runtime and the trace buffers are concurrency-critical,
+# so plain `go test` is not enough). CI runs `make verify`.
+
+GO ?= go
+
+.PHONY: verify vet build test test-race bench fig4
+
+verify: vet build test-race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate the Figure 4 weak-scaling table (with the per-phase imbalance
+# and recv-wait columns) into results/.
+fig4:
+	$(GO) run ./cmd/scaling -steps 3 > results/fig4_scaling.txt

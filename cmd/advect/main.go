@@ -10,11 +10,15 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
+	"os"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
 	"repro/internal/advect"
 	"repro/internal/experiments"
+	"repro/internal/trace"
 )
 
 func parseRanks(s string) []int {
@@ -36,7 +40,23 @@ func main() {
 	degree := flag.Int("degree", 3, "polynomial degree (paper: 3, tricubic)")
 	level := flag.Int("level", 2, "initial refinement level")
 	maxLevel := flag.Int("max-level", 4, "finest refinement level")
+	tracePath := flag.String("trace", "", "write the last run's Chrome trace-event JSON here")
+	profilePath := flag.String("profile", "", "write a CPU profile (pprof) of all runs here")
 	flag.Parse()
+
+	if *profilePath != "" {
+		pf, err := os.Create(*profilePath)
+		if err != nil {
+			log.Fatalf("profile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			log.Fatalf("profile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			pf.Close()
+		}()
+	}
 
 	opts := advect.DefaultOptions()
 	opts.Degree = *degree
@@ -47,8 +67,12 @@ func main() {
 	fmt.Printf("%8s %10s %12s %10s %10s %8s %12s %10s\n",
 		"ranks", "elements", "unknowns", "amr(s)", "integ(s)", "amr%", "s/step/elem", "shipped%")
 	var base float64
+	var tr *trace.Tracer
 	for _, p := range parseRanks(*ranks) {
-		row := experiments.RunFig5(p, opts, *steps, *adaptEvery)
+		if *tracePath != "" {
+			tr = trace.New(p) // keep the last rank count's trace
+		}
+		row := experiments.RunFig5Traced(p, opts, *steps, *adaptEvery, tr)
 		fmt.Printf("%8d %10d %12d %10.3f %10.3f %8.2f %12.3e %10.1f\n",
 			row.Ranks, row.Elements, row.Unknowns, row.AMRSec, row.IntegSec,
 			row.AMRPercent, row.NormPerStep, row.ShippedPct)
@@ -58,5 +82,14 @@ func main() {
 			fmt.Printf("%8s end-to-end parallel efficiency vs base: %.1f%%\n", "",
 				100*base/row.NormPerStep)
 		}
+	}
+	if tr != nil {
+		fmt.Println()
+		fmt.Println("Trace report of the last run (solve/adapt split, imbalance, recv-wait):")
+		tr.WriteReport(os.Stdout)
+		if err := tr.WriteChromeTraceFile(*tracePath); err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		fmt.Printf("wrote Chrome trace to %s (open in ui.perfetto.dev)\n", *tracePath)
 	}
 }

@@ -10,12 +10,15 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"os"
+	"runtime/pprof"
 
 	"repro/internal/connectivity"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/mpi"
 	"repro/internal/octant"
+	"repro/internal/trace"
 	"repro/internal/vtk"
 )
 
@@ -47,10 +50,30 @@ func main() {
 	vtkPath := flag.String("vtk", "", "write the gathered mesh to this VTK file")
 	savePath := flag.String("save", "", "checkpoint the forest to this file")
 	loadPath := flag.String("load", "", "restore the forest from a checkpoint instead of building it")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the run here")
+	profilePath := flag.String("profile", "", "write a CPU profile (pprof) here")
 	flag.Parse()
 
+	if *profilePath != "" {
+		pf, err := os.Create(*profilePath)
+		if err != nil {
+			log.Fatalf("profile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			log.Fatalf("profile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			pf.Close()
+		}()
+	}
+	var tr *trace.Tracer
+	if *tracePath != "" {
+		tr = trace.New(*ranks)
+	}
+
 	conn := buildConn(*config)
-	mpi.Run(*ranks, func(c *mpi.Comm) {
+	mpi.RunTraced(*ranks, tr, func(c *mpi.Comm) {
 		var f *core.Forest
 		if *loadPath != "" {
 			var err error
@@ -83,6 +106,8 @@ func main() {
 
 		stats := c.Stats()
 		bytesSent := mpi.AllreduceSum(c, stats.BytesSent)
+		bytesRecvd := mpi.AllreduceSum(c, stats.BytesRecvd)
+		maxWait := mpi.AllreduceMax(c, stats.RecvWait.Seconds())
 		checksum := f.Checksum()
 		if c.Rank() == 0 {
 			fmt.Printf("connectivity %q: %d trees\n", *config, conn.NumTrees())
@@ -96,7 +121,8 @@ func main() {
 				f.NumLocal(), g.NumGhosts(), levels)
 			fmt.Printf("nodes: %d global trilinear unknowns (%d owned by rank 0)\n",
 				nd.NumGlobal, nd.NumOwned)
-			fmt.Printf("communication: %.2f MB total\n", float64(bytesSent)/math.Pow(2, 20))
+			fmt.Printf("communication: %.2f MB sent, %.2f MB received, max recv-wait %.3fs\n",
+				float64(bytesSent)/math.Pow(2, 20), float64(bytesRecvd)/math.Pow(2, 20), maxWait)
 			fmt.Printf("checksum: %016x\n", checksum)
 		}
 		if *savePath != "" {
@@ -116,4 +142,13 @@ func main() {
 			}
 		}
 	})
+	if tr != nil {
+		fmt.Println()
+		fmt.Println("Trace report (per-phase imbalance and recv-wait share):")
+		tr.WriteReport(os.Stdout)
+		if err := tr.WriteChromeTraceFile(*tracePath); err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		fmt.Printf("wrote Chrome trace to %s (open in ui.perfetto.dev)\n", *tracePath)
+	}
 }

@@ -4,22 +4,48 @@
 // emulated by goroutines; each level increment multiplies both the octant
 // count and the rank count by eight, holding octants per rank constant.
 //
+// Every run is traced through internal/trace, so alongside the paper's
+// timing table the report shows each phase's cross-rank imbalance
+// (max/avg) and the share of the phase spent blocked in receives. With
+// -trace the largest run's full span timeline is written as Chrome
+// trace-event JSON (one track per rank; open in Perfetto).
+//
 //	go run ./cmd/scaling -base-level 1 -steps 3
+//	go run ./cmd/scaling -steps 2 -trace /tmp/t.json -profile /tmp/cpu.pprof
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
 	"os"
+	"runtime/pprof"
 
 	"repro/internal/experiments"
+	"repro/internal/trace"
 )
 
 func main() {
 	baseLevel := flag.Int("base-level", 1, "refinement level of the smallest run")
 	baseRanks := flag.Int("base-ranks", 1, "rank count of the smallest run")
 	steps := flag.Int("steps", 3, "number of 8x weak-scaling steps")
+	tracePath := flag.String("trace", "", "write the largest run's Chrome trace-event JSON here")
+	profilePath := flag.String("profile", "", "write a CPU profile (pprof) of all runs here")
 	flag.Parse()
+
+	if *profilePath != "" {
+		f, err := os.Create(*profilePath)
+		if err != nil {
+			log.Fatalf("profile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("profile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 
 	fmt.Println("Figure 4: weak scaling of forest-of-octrees AMR algorithms")
 	fmt.Println("(six-octree forest, fractal refinement of children 0,3,5,6)")
@@ -30,13 +56,16 @@ func main() {
 		"bal s/Moct", "nodes s/Moct")
 
 	var rows []experiments.Fig4Row
+	var lastTracer *trace.Tracer
 	for i := 0; i < *steps; i++ {
 		ranks := *baseRanks
 		for j := 0; j < i; j++ {
 			ranks *= 8
 		}
 		level := int8(*baseLevel + i)
-		row := experiments.RunFig4(ranks, level)
+		tr := trace.New(ranks)
+		row := experiments.RunFig4Traced(ranks, level, tr)
+		lastTracer = tr
 		rows = append(rows, row)
 		fmt.Printf("%8d %7d %12d %10.0f | %8.4f %8.4f %8.4f %8.4f %8.4f %8.4f | %12.3f %12.3f\n",
 			row.Ranks, row.Level, row.Octants, row.PerRank*1e6,
@@ -55,6 +84,17 @@ func main() {
 			r.Ranks, 100*r.BalSec/tot, 100*r.NodesSec/tot, 100*r.PartSec/tot,
 			100*r.GhostSec/tot, 100*(r.NewSec+r.RefineSec)/tot)
 	}
+
+	fmt.Println()
+	fmt.Println("Per-phase imbalance (max/avg across ranks) and recv-wait share:")
+	for _, r := range rows {
+		fmt.Printf("  ranks %6d:", r.Ranks)
+		for _, name := range experiments.Fig4Phases {
+			fmt.Printf("  %s %.2f/%2.0f%%", name, r.PhaseImb[name], 100*r.PhaseWait[name])
+		}
+		fmt.Printf("  (balance rounds: %d)\n", r.BalanceRounds)
+	}
+
 	fmt.Println()
 	fmt.Println("Parallel efficiency vs the smallest run (normalized Balance+Nodes):")
 	base := rows[0].BalNorm + rows[0].NodesNorm
@@ -65,5 +105,16 @@ func main() {
 		}
 		fmt.Printf("  ranks %6d: %5.1f%%\n", r.Ranks, 100*base/cur)
 	}
-	os.Exit(0)
+
+	if lastTracer != nil {
+		fmt.Println()
+		fmt.Printf("Trace report of the largest run (%d ranks):\n", rows[len(rows)-1].Ranks)
+		lastTracer.WriteReport(os.Stdout)
+		if *tracePath != "" {
+			if err := lastTracer.WriteChromeTraceFile(*tracePath); err != nil {
+				log.Fatalf("trace: %v", err)
+			}
+			fmt.Printf("\nwrote Chrome trace to %s (open in ui.perfetto.dev)\n", *tracePath)
+		}
+	}
 }

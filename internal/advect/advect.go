@@ -193,7 +193,9 @@ func (s *Solver) RHS(c, dc []float64) {
 	np := m.Np
 	copy(s.buf[:m.NumLocal*np], c)
 	s.Met.StartAdd("exchange", func() {
-		m.ExchangeGhost(1, s.buf)
+		s.Comm.Tracer().Span("exchange", func() {
+			m.ExchangeGhost(1, s.buf)
+		})
 	})
 
 	// Volume term.
@@ -272,6 +274,7 @@ func (s *Solver) faceNormalVel(l *mangll.FaceLink, out []float64) {
 // Step advances the solution by one RK step of size dt.
 func (s *Solver) Step(dt float64) {
 	stop := s.Met.Start("integrate")
+	defer s.Comm.Tracer().StartSpan("solve")()
 	s.rk.Step(s.C, s.Time, dt, func(tt float64, u, du []float64) {
 		s.RHS(u, du)
 	})
@@ -308,6 +311,7 @@ func (s *Solver) Indicator() []float64 {
 func (s *Solver) Adapt() bool {
 	stop := s.Met.Start("amr")
 	defer stop()
+	defer s.Comm.Tracer().StartSpan("adapt")()
 	m := s.Mesh
 	ind := s.Indicator()
 	flags := make(map[octant.Octant]int8, len(ind))

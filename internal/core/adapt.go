@@ -11,6 +11,7 @@ import (
 // beyond the shared-counter refresh; partition markers stay valid because
 // refinement never moves a rank's curve segment (paper §II.C).
 func (f *Forest) Refine(recursive bool, maxLevel int8, shouldRefine func(octant.Octant) bool) {
+	defer f.span("refine")()
 	out := make([]octant.Octant, 0, len(f.Local)+len(f.Local)/2)
 	var expand func(o octant.Octant)
 	expand = func(o octant.Octant) {
@@ -41,6 +42,7 @@ func (f *Forest) Refine(recursive bool, maxLevel int8, shouldRefine func(octant.
 // local, as p4est does). Requires no communication beyond the counter
 // refresh.
 func (f *Forest) Coarsen(recursive bool, shouldCoarsen func(parent octant.Octant, children []octant.Octant) bool) {
+	defer f.span("coarsen")()
 	for {
 		out := f.Local[:0]
 		changed := false

@@ -44,16 +44,22 @@ type demand struct {
 // balance condition, the fixpoint is the unique minimal 2:1-balanced
 // refinement — the same forest p4est's Balance produces.
 func (f *Forest) Balance(kind BalanceKind) {
+	tr := f.Comm.Tracer()
+	defer tr.StartSpan("balance")()
 	round := 0
 	for ; ; round++ {
+		tr.Begin("balance.round")
 		demands := f.collectDemands(kind)
 		routed := f.routeDemands(demands)
 		changed := f.applyDemands(routed)
-		if !mpi.AllreduceOr(f.Comm, changed) {
+		done := !mpi.AllreduceOr(f.Comm, changed)
+		tr.End()
+		if done {
 			break
 		}
 	}
 	f.BalanceRounds = round + 1
+	tr.Arg("rounds", int64(f.BalanceRounds))
 	f.syncMeta()
 }
 

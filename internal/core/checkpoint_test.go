@@ -20,7 +20,11 @@ func TestCheckpointRoundTripAcrossRankCounts(t *testing.T) {
 		f.Refine(true, 3, fractalRefine(3))
 		f.Balance(BalanceFull)
 		f.Partition()
-		savedSum = f.Checksum()
+		// Checksum is collective and rank-identical; assign from one rank
+		// so the rank goroutines don't race on the shared variable.
+		if s := f.Checksum(); c.Rank() == 0 {
+			savedSum = s
+		}
 		if err := f.Save(path); err != nil {
 			t.Errorf("save: %v", err)
 		}

@@ -83,6 +83,7 @@ type Forest struct {
 // level (level 0 creates only root octants, potentially leaving many ranks
 // empty). New requires no communication beyond the shared-counter setup.
 func New(comm *mpi.Comm, conn *connectivity.Conn, level int8) *Forest {
+	defer comm.Tracer().StartSpan("new")()
 	if level < 0 || level > octant.MaxLevel {
 		panic("core: invalid initial level")
 	}
@@ -151,6 +152,12 @@ func (f *Forest) GlobalFirst() int64 { return f.globalFirst }
 
 // RankCounts returns the per-rank leaf counts (shared meta-data).
 func (f *Forest) RankCounts() []int64 { return f.counts }
+
+// span opens a phase span on the calling rank's tracer; the returned
+// closer ends it. No-op (one nil check) when the world runs untraced.
+func (f *Forest) span(name string) func() {
+	return f.Comm.Tracer().StartSpan(name)
+}
 
 // OwnerOfPosition returns the rank owning the given curve position. Any
 // rank can answer this from the shared markers alone, in O(log P).

@@ -33,6 +33,7 @@ func (g *GhostLayer) NumGhosts() int { return len(g.Octants) }
 // segment is shipped to those ranks; symmetry of the neighbourhood relation
 // makes the received set exactly the adjacent remote leaves.
 func (f *Forest) Ghost() *GhostLayer {
+	defer f.span("ghost")()
 	me := f.Comm.Rank()
 	sendSet := make(map[int]map[int]bool) // dest rank -> local leaf index set
 	mirrorRanks := make(map[int][]int)    // local leaf index -> dest ranks
@@ -149,6 +150,7 @@ func (f *Forest) GhostLayers(layers int) *GhostLayer {
 	if layers < 1 {
 		panic("core: GhostLayers needs layers >= 1")
 	}
+	defer f.span("ghost.layers")()
 	g := f.Ghost()
 	if layers == 1 {
 		return g

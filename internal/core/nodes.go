@@ -112,6 +112,7 @@ func (f *Forest) nodeOwner(key connectivity.TreePoint) int {
 // corners are constrained to the corners of the coarse face or edge they
 // sit on.
 func (f *Forest) Nodes(ghost *GhostLayer) *Nodes {
+	defer f.span("nodes")()
 	search := mergeLeaves(f.Local, ghost.Octants)
 
 	type cornerInfo struct {

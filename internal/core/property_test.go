@@ -50,7 +50,13 @@ func TestRandomAdaptationPipelines(t *testing.T) {
 							f.Partition()
 							validate(t, f)
 						}
-						sum = f.Checksum()
+						// Checksum is collective and rank-identical; assign
+						// from one rank so the rank goroutines don't race on
+						// the shared variable.
+						s := f.Checksum()
+						if c.Rank() == 0 {
+							sum = s
+						}
 					})
 					if p == 1 {
 						serial = sum

@@ -30,6 +30,7 @@ import (
 	"repro/internal/octant"
 	"repro/internal/rhea"
 	"repro/internal/seismic"
+	"repro/internal/trace"
 )
 
 // FractalRefiner reproduces the Figure 4 workload: "a fractal-type mesh
@@ -65,7 +66,21 @@ type Fig4Row struct {
 	// Balance and Nodes: flat values mean no parallel overhead.
 	BalNorm   float64
 	NodesNorm float64
+
+	// BalanceRounds is the ripple-round count Balance needed.
+	BalanceRounds int
+
+	// PhaseImb and PhaseWait are filled when the run is traced: per phase
+	// (new, refine, partition, balance, ghost, nodes), the max/avg rank
+	// imbalance and the fraction of the phase spent blocked in receives.
+	PhaseImb  map[string]float64
+	PhaseWait map[string]float64
 }
+
+// Fig4Phases names the six pipeline phases in execution order, matching
+// both the paper's Figure 4 legend and the span names the core algorithms
+// emit.
+var Fig4Phases = []string{"new", "refine", "partition", "balance", "ghost", "nodes"}
 
 // TotalAMRSec returns the summed runtime of all p4est algorithms.
 func (r Fig4Row) TotalAMRSec() float64 {
@@ -86,9 +101,16 @@ func timedPhase(c *mpi.Comm, fn func()) float64 {
 // count by eight for each level increment to keep octants per rank
 // constant).
 func RunFig4(ranks int, level int8) Fig4Row {
+	return RunFig4Traced(ranks, level, nil)
+}
+
+// RunFig4Traced is RunFig4 with an optional tracer (created with
+// trace.New(ranks)): the run's spans land in tr, and the returned row's
+// PhaseImb/PhaseWait columns are filled from the trace aggregation.
+func RunFig4Traced(ranks int, level int8, tr *trace.Tracer) Fig4Row {
 	var row Fig4Row
 	conn := connectivity.SixRotCubes()
-	mpi.Run(ranks, func(c *mpi.Comm) {
+	mpi.RunTraced(ranks, tr, func(c *mpi.Comm) {
 		var f *core.Forest
 		r := Fig4Row{Ranks: ranks, Level: level}
 		r.NewSec = timedPhase(c, func() { f = core.New(c, conn, level) })
@@ -100,6 +122,7 @@ func RunFig4(ranks int, level int8) Fig4Row {
 		r.NodesSec = timedPhase(c, func() { f.Nodes(g) })
 		r.Octants = f.NumGlobal()
 		r.PerRank = float64(r.Octants) / float64(ranks) / 1e6
+		r.BalanceRounds = f.BalanceRounds
 		if r.Octants > 0 {
 			moct := float64(r.Octants) / 1e6
 			r.BalNorm = r.BalSec / moct
@@ -109,6 +132,18 @@ func RunFig4(ranks int, level int8) Fig4Row {
 			row = r
 		}
 	})
+	if tr != nil {
+		row.PhaseImb = make(map[string]float64, len(Fig4Phases))
+		row.PhaseWait = make(map[string]float64, len(Fig4Phases))
+		for _, st := range tr.Aggregate() {
+			for _, name := range Fig4Phases {
+				if st.Name == name {
+					row.PhaseImb[name] = st.Imbalance
+					row.PhaseWait[name] = st.WaitShare
+				}
+			}
+		}
+	}
 	return row
 }
 
@@ -129,8 +164,14 @@ type Fig5Row struct {
 // RunFig5 runs the dG advection benchmark: nsteps steps with adaptation
 // and repartitioning every adaptEvery steps (the paper uses 32).
 func RunFig5(ranks int, opts advect.Options, nsteps, adaptEvery int) Fig5Row {
+	return RunFig5Traced(ranks, opts, nsteps, adaptEvery, nil)
+}
+
+// RunFig5Traced is RunFig5 with an optional tracer recording the
+// per-timestep solve/adapt split and the AMR sub-phases.
+func RunFig5Traced(ranks int, opts advect.Options, nsteps, adaptEvery int, tr *trace.Tracer) Fig5Row {
 	var row Fig5Row
-	mpi.Run(ranks, func(c *mpi.Comm) {
+	mpi.RunTraced(ranks, tr, func(c *mpi.Comm) {
 		s := advect.NewShell(c, opts)
 		s.Met.Reset()
 		dt := s.DT()

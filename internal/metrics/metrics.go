@@ -83,6 +83,36 @@ func (r *Registry) Names() []string {
 	return names
 }
 
+// CounterNames returns all counter names, sorted. (Names covers only the
+// timers; counters were previously undiscoverable.)
+func (r *Registry) CounterNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counts))
+	for n := range r.counts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Snapshot returns copies of the timer and counter maps taken under one
+// lock acquisition, so the two views are mutually consistent even while
+// rank goroutines keep recording.
+func (r *Registry) Snapshot() (timers map[string]time.Duration, counts map[string]int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	timers = make(map[string]time.Duration, len(r.timers))
+	for n, d := range r.timers {
+		timers[n] = d
+	}
+	counts = make(map[string]int64, len(r.counts))
+	for n, c := range r.counts {
+		counts[n] = c
+	}
+	return timers, counts
+}
+
 // Reset zeroes all timers and counters.
 func (r *Registry) Reset() {
 	r.mu.Lock()

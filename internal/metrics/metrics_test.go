@@ -44,6 +44,33 @@ func TestNamesSorted(t *testing.T) {
 	}
 }
 
+func TestCounterNamesSorted(t *testing.T) {
+	r := NewRegistry()
+	r.AddCount("shipped", 1)
+	r.AddCount("coarsened", 2)
+	r.AddDuration("timer-only", time.Second)
+	names := r.CounterNames()
+	if len(names) != 2 || names[0] != "coarsened" || names[1] != "shipped" {
+		t.Fatalf("counter names = %v", names)
+	}
+}
+
+func TestSnapshotConsistentCopies(t *testing.T) {
+	r := NewRegistry()
+	r.AddDuration("t", time.Second)
+	r.AddCount("c", 5)
+	timers, counts := r.Snapshot()
+	if timers["t"] != time.Second || counts["c"] != 5 {
+		t.Fatalf("snapshot = %v %v", timers, counts)
+	}
+	// The snapshot must be a copy, not a view of the live maps.
+	timers["t"] = 0
+	counts["c"] = 0
+	if r.Total("t") != time.Second || r.Count("c") != 5 {
+		t.Fatal("snapshot aliases registry maps")
+	}
+}
+
 func TestConcurrentUse(t *testing.T) {
 	r := NewRegistry()
 	var wg sync.WaitGroup

@@ -1,13 +1,34 @@
 package mpi
 
+import "repro/internal/trace"
+
 // Collectives are implemented with simple star (root = 0) or point-to-point
 // exchange algorithms. At the rank counts this runtime targets (P <= a few
 // hundred goroutines) the asymptotic difference to tree-based algorithms is
 // irrelevant; what matters for the reproduction is the communication
 // *interface* the forest algorithms are written against.
+//
+// Every collective self-records a CatComm span when the world is traced,
+// so a trace shows exactly where each rank sat inside e.g. Balance's
+// Allreduce; the blocked portion is attributed by the wait spans the
+// underlying receives emit.
+
+// span opens a CatComm span on the calling rank and returns its closer (a
+// no-op closure when the world is untraced).
+func (c *Comm) span(name string) func() {
+	tr := c.Tracer()
+	if tr == nil {
+		return nopSpan
+	}
+	tr.BeginCat(name, trace.CatComm)
+	return tr.End
+}
+
+var nopSpan = func() {}
 
 // Barrier blocks until all ranks have entered it.
 func (c *Comm) Barrier() {
+	defer c.span("Barrier")()
 	if c.world.size == 1 {
 		return
 	}
@@ -27,6 +48,7 @@ func (c *Comm) Barrier() {
 // Bcast distributes root's value to all ranks and returns it; non-root ranks
 // pass their (ignored) local value.
 func Bcast[T any](c *Comm, root int, v T) T {
+	defer c.span("Bcast")()
 	if c.world.size == 1 {
 		return v
 	}
@@ -45,6 +67,7 @@ func Bcast[T any](c *Comm, root int, v T) T {
 // Gather collects one value from every rank at root, ordered by rank. Only
 // root receives a non-nil slice.
 func Gather[T any](c *Comm, root int, v T) []T {
+	defer c.span("Gather")()
 	if c.rank != root {
 		c.send(root, tagGather, v)
 		return nil
@@ -65,6 +88,7 @@ func Gather[T any](c *Comm, root int, v T) []T {
 // rank. This is the collective the paper's Partition algorithm relies on
 // ("one call to MPI_Allgather with one long integer per core").
 func Allgather[T any](c *Comm, v T) []T {
+	defer c.span("Allgather")()
 	all := Gather(c, 0, v)
 	return Bcast(c, 0, all)
 }
@@ -72,6 +96,7 @@ func Allgather[T any](c *Comm, v T) []T {
 // Allreduce combines every rank's value with op (which must be associative
 // and commutative) and returns the result on all ranks.
 func Allreduce[T any](c *Comm, v T, op func(a, b T) T) T {
+	defer c.span("Allreduce")()
 	all := Gather(c, 0, v)
 	if c.rank == 0 {
 		acc := all[0]
@@ -130,6 +155,7 @@ func ExScan[T any](c *Comm, v T, op func(a, b T) T) T {
 // the returned slice holds in[j] received from rank j. out must have length
 // Size. Ranks may pass their own slot through untouched.
 func Alltoall[T any](c *Comm, out []T, tag int) []T {
+	defer c.span("Alltoall")()
 	if len(out) != c.world.size {
 		panic("mpi: Alltoall slice length != world size")
 	}
@@ -158,6 +184,7 @@ func Alltoall[T any](c *Comm, out []T, tag int) []T {
 // pairs is discovered with an Alltoall of counts first, mirroring how the
 // p4est Ghost and Balance phases establish their communication patterns.
 func SparseExchange[T any](c *Comm, out map[int]T, tag int) map[int]T {
+	defer c.span("SparseExchange")()
 	counts := make([]int, c.world.size)
 	for to := range out {
 		counts[to] = 1

@@ -15,6 +15,9 @@ package mpi
 import (
 	"fmt"
 	"sync"
+	"time"
+
+	"repro/internal/trace"
 )
 
 // AnySource matches messages from any sending rank in Recv.
@@ -31,9 +34,10 @@ const (
 
 // World owns the mailboxes and statistics for a set of ranks.
 type World struct {
-	size  int
-	boxes []*mailbox
-	stats []Stats
+	size   int
+	boxes  []*mailbox
+	stats  []Stats
+	tracer *trace.Tracer // optional; nil disables span recording
 }
 
 // Comm is one rank's handle to the world. It is not safe for concurrent use
@@ -49,10 +53,26 @@ func (c *Comm) Rank() int { return c.rank }
 // Size returns the number of ranks in the communicator.
 func (c *Comm) Size() int { return c.world.size }
 
+// Tracer returns the calling rank's span recorder, or nil when the world
+// runs untraced. All trace.RankTracer methods are nil-safe, so callers may
+// instrument unconditionally; the disabled cost is this nil check.
+func (c *Comm) Tracer() *trace.RankTracer {
+	return c.world.tracer.Rank(c.rank)
+}
+
 // Run executes fn on size ranks concurrently and returns when all complete.
 // It panics if size < 1. A panic on any rank propagates to the caller.
 func Run(size int, fn func(*Comm)) {
-	err := RunErr(size, func(c *Comm) error {
+	RunTraced(size, nil, fn)
+}
+
+// RunTraced is Run with an optional tracer attached to the world: every
+// rank's sends, receive waits, and collectives self-record into the
+// tracer's per-rank buffers, and instrumented algorithms (core, advect)
+// emit their phase spans. tr may be nil (equivalent to Run); otherwise it
+// must have been created with trace.New(size).
+func RunTraced(size int, tr *trace.Tracer, fn func(*Comm)) {
+	err := RunErrTraced(size, tr, func(c *Comm) error {
 		fn(c)
 		return nil
 	})
@@ -64,10 +84,18 @@ func Run(size int, fn func(*Comm)) {
 // RunErr executes fn on size ranks concurrently. The first non-nil error (by
 // rank order) is returned. A panicking rank re-panics in the caller.
 func RunErr(size int, fn func(*Comm) error) error {
+	return RunErrTraced(size, nil, fn)
+}
+
+// RunErrTraced is RunErr with an optional tracer attached to the world.
+func RunErrTraced(size int, tr *trace.Tracer, fn func(*Comm) error) error {
 	if size < 1 {
 		return fmt.Errorf("mpi: world size %d < 1", size)
 	}
-	w := &World{size: size}
+	if tr != nil && tr.NumRanks() != size {
+		return fmt.Errorf("mpi: tracer has %d ranks, world has %d", tr.NumRanks(), size)
+	}
+	w := &World{size: size, tracer: tr}
 	w.boxes = make([]*mailbox, size)
 	w.stats = make([]Stats, size)
 	for i := range w.boxes {
@@ -162,8 +190,12 @@ func (c *Comm) send(to, tag int, payload any) {
 		panic(fmt.Sprintf("mpi: send to invalid rank %d (size %d)", to, c.world.size))
 	}
 	st := &c.world.stats[c.rank]
+	bytes := payloadBytes(payload)
 	st.MsgsSent++
-	st.BytesSent += payloadBytes(payload)
+	st.BytesSent += bytes
+	ts := st.tag(tag)
+	ts.MsgsSent++
+	ts.BytesSent += bytes
 	c.world.boxes[to].put(message{from: c.rank, tag: tag, payload: payload})
 }
 
@@ -176,7 +208,25 @@ func (c *Comm) Recv(from, tag int) (payload any, source int) {
 	return c.recv(from, tag)
 }
 
+// recv performs the tag-matched blocking receive and accounts for it: the
+// time blocked in the mailbox is the rank's receive-wait (the straggler /
+// imbalance signal), recorded both in Stats and — when a tracer is
+// attached — as a wait span attributed to the enclosing phase.
 func (c *Comm) recv(from, tag int) (any, int) {
+	t0 := time.Now()
 	msg := c.world.boxes[c.rank].take(from, tag)
+	wait := time.Since(t0)
+	st := &c.world.stats[c.rank]
+	bytes := payloadBytes(msg.payload)
+	st.MsgsRecvd++
+	st.BytesRecvd += bytes
+	st.RecvWait += wait
+	ts := st.tag(tag)
+	ts.MsgsRecvd++
+	ts.BytesRecvd += bytes
+	ts.RecvWait += wait
+	if tr := c.Tracer(); tr != nil {
+		tr.AddWait("recv:"+TagName(tag), wait)
+	}
 	return msg.payload, msg.from
 }

@@ -1,19 +1,90 @@
 package mpi
 
-// Stats records per-rank communication counters. The paper characterizes its
-// algorithms partly by communication volume (e.g. Balance and Ghost "scale
-// roughly with the number of octants on the partition boundaries"); these
-// counters let tests and benchmarks verify that property.
+import (
+	"strconv"
+	"time"
+)
+
+// Stats records per-rank communication counters on both sides of the wire.
+// The paper characterizes its algorithms partly by communication volume
+// (e.g. Balance and Ghost "scale roughly with the number of octants on the
+// partition boundaries"); these counters let tests and benchmarks verify
+// that property. RecvWait is the total time the rank spent blocked in
+// receives (point-to-point and inside collectives), which is the
+// load-imbalance signal: a rank that arrives early at a collective waits
+// there for the stragglers.
 type Stats struct {
-	MsgsSent  int64
-	BytesSent int64
+	MsgsSent   int64
+	BytesSent  int64
+	MsgsRecvd  int64
+	BytesRecvd int64
+	RecvWait   time.Duration
+
+	// ByTag breaks the counters down by message tag, separating e.g. the
+	// Balance demand exchange from the Ghost shipment on the same run.
+	// Internal collective tags are negative (see TagName).
+	ByTag map[int]*TagStats
 }
 
-// Stats returns a copy of the calling rank's counters.
-func (c *Comm) Stats() Stats { return c.world.stats[c.rank] }
+// TagStats is the per-tag slice of the communication counters.
+type TagStats struct {
+	MsgsSent   int64
+	BytesSent  int64
+	MsgsRecvd  int64
+	BytesRecvd int64
+	RecvWait   time.Duration
+}
+
+// tag returns the per-tag bucket, creating it on first use. Stats are
+// rank-private (each rank goroutine owns one slot of World.stats), so no
+// locking is needed.
+func (s *Stats) tag(t int) *TagStats {
+	if s.ByTag == nil {
+		s.ByTag = make(map[int]*TagStats)
+	}
+	ts := s.ByTag[t]
+	if ts == nil {
+		ts = &TagStats{}
+		s.ByTag[t] = ts
+	}
+	return ts
+}
+
+// Stats returns a deep copy of the calling rank's counters.
+func (c *Comm) Stats() Stats {
+	st := c.world.stats[c.rank]
+	if st.ByTag != nil {
+		m := make(map[int]*TagStats, len(st.ByTag))
+		for t, ts := range st.ByTag {
+			cp := *ts
+			m[t] = &cp
+		}
+		st.ByTag = m
+	}
+	return st
+}
 
 // ResetStats zeroes the calling rank's counters.
 func (c *Comm) ResetStats() { c.world.stats[c.rank] = Stats{} }
+
+// TagName names the internal collective tags for reports; user tags are
+// rendered numerically.
+func TagName(tag int) string {
+	switch tag {
+	case tagBarrier:
+		return "barrier"
+	case tagBcast:
+		return "bcast"
+	case tagGather:
+		return "gather"
+	case tagScatter:
+		return "scatter"
+	}
+	if tag < 0 {
+		return "internal"
+	}
+	return "tag" + strconv.Itoa(tag)
+}
 
 // payloadBytes estimates the wire size of a payload for the statistics. The
 // estimate covers the payload types used by the forest algorithms; unknown
@@ -25,7 +96,11 @@ func payloadBytes(p any) int64 {
 		return envelope
 	case []byte:
 		return envelope + int64(len(v))
+	case []int8:
+		return envelope + int64(len(v))
 	case []int32:
+		return envelope + 4*int64(len(v))
+	case []float32:
 		return envelope + 4*int64(len(v))
 	case []int:
 		return envelope + 8*int64(len(v))

@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// chromeEvent is one entry of the Chrome trace-event JSON format, which
+// Perfetto (ui.perfetto.dev) and chrome://tracing both load. Complete
+// events ("ph":"X") carry a start timestamp and duration in microseconds;
+// ranks are mapped to thread ids so each rank renders as its own track.
+// encoding/json sorts map keys, so the output is deterministic for a
+// deterministic clock (the golden test relies on this).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace exports the whole run as Chrome trace-event JSON: one
+// metadata event naming each rank's track, then every completed span as a
+// complete ("X") event, one per line. Spans still open when the run ended
+// (a rank that panicked mid-phase) are skipped rather than fabricated.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		return fmt.Errorf("trace: WriteChromeTrace on nil Tracer")
+	}
+	if _, err := io.WriteString(w, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(ev chromeEvent) error {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		if !first {
+			if _, err := io.WriteString(w, ",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err = w.Write(b)
+		return err
+	}
+	for r := range t.ranks {
+		err := emit(chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: r,
+			Args: map[string]any{"name": fmt.Sprintf("rank %d", r)},
+		})
+		if err != nil {
+			return err
+		}
+	}
+	for r, rt := range t.ranks {
+		for i := range rt.events {
+			ev := &rt.events[i]
+			if ev.Dur < 0 {
+				continue
+			}
+			dur := micro(ev.Dur)
+			ce := chromeEvent{
+				Name: ev.Name,
+				Cat:  ev.Cat.String(),
+				Ph:   "X",
+				Pid:  0,
+				Tid:  r,
+				Ts:   micro(ev.Start),
+				Dur:  &dur,
+			}
+			if len(ev.Args) > 0 || ev.Wait > 0 {
+				ce.Args = make(map[string]any, len(ev.Args)+1)
+				for _, a := range ev.Args {
+					ce.Args[a.Key] = a.Val
+				}
+				if ev.Wait > 0 {
+					ce.Args["wait_us"] = ev.Wait.Microseconds()
+				}
+			}
+			if err := emit(ce); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := io.WriteString(w, "\n]}\n")
+	return err
+}
+
+// WriteChromeTraceFile writes the trace to path.
+func (t *Tracer) WriteChromeTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// micro converts a duration to the fractional microseconds of the
+// trace-event format's ts/dur fields.
+func micro(d time.Duration) float64 { return float64(d) / 1e3 }

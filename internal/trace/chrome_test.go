@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden trace file")
+
+// buildGoldenTracer records a small deterministic two-rank run: nested
+// phase spans, a collective with a wait, and an annotated span.
+func buildGoldenTracer() *Tracer {
+	tr := New(2)
+	fakeClock(tr, time.Millisecond)
+	r0 := tr.Rank(0)
+	r0.Begin("balance")
+	r0.BeginCat("Allreduce", CatComm)
+	// The fake clock ticks once per read; a 1ms wait ending at the AddWait
+	// read therefore nests exactly inside the open Allreduce span.
+	r0.AddWait("recv:gather", time.Millisecond)
+	r0.End()
+	r0.Arg("rounds", 2)
+	r0.End()
+	r0.Span("ghost", func() {})
+
+	r1 := tr.Rank(1)
+	r1.Begin("balance")
+	r1.End()
+	r1.Begin("nodes")
+	r1.End()
+	return tr
+}
+
+func TestWriteChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildGoldenTracer().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("trace differs from golden.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// traceShape is the subset of the trace-event format the validity checks
+// need.
+type traceShape struct {
+	TraceEvents []struct {
+		Name string  `json:"name"`
+		Ph   string  `json:"ph"`
+		Tid  int     `json:"tid"`
+		Ts   float64 `json:"ts"`
+		Dur  float64 `json:"dur"`
+	} `json:"traceEvents"`
+}
+
+// TestChromeTraceWellFormed checks the structural guarantees the export
+// promises: the output is valid JSON, every rank has a named track, and
+// within each rank the complete events form a proper nesting — sorted by
+// start time, each next span either starts after the previous ends or lies
+// entirely inside it (no partial overlap), and timestamps are monotone.
+func TestChromeTraceWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildGoldenTracer().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("export is not valid JSON")
+	}
+	var shape traceShape
+	if err := json.Unmarshal(buf.Bytes(), &shape); err != nil {
+		t.Fatal(err)
+	}
+
+	type span struct{ start, end float64 }
+	perRank := map[int][]span{}
+	named := map[int]bool{}
+	for _, ev := range shape.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "thread_name" {
+				named[ev.Tid] = true
+			}
+		case "X":
+			perRank[ev.Tid] = append(perRank[ev.Tid], span{ev.Ts, ev.Ts + ev.Dur})
+		default:
+			t.Fatalf("unexpected event phase %q", ev.Ph)
+		}
+	}
+	for r := 0; r < 2; r++ {
+		if !named[r] {
+			t.Fatalf("rank %d track not named", r)
+		}
+		spans := perRank[r]
+		if len(spans) == 0 {
+			t.Fatalf("rank %d has no spans", r)
+		}
+		sort.Slice(spans, func(i, j int) bool {
+			if spans[i].start != spans[j].start {
+				return spans[i].start < spans[j].start
+			}
+			return spans[i].end > spans[j].end // parent before child
+		})
+		var stack []span
+		prevStart := -1.0
+		for _, s := range spans {
+			if s.start < prevStart {
+				t.Fatalf("rank %d: spans not monotone by start", r)
+			}
+			prevStart = s.start
+			if s.end < s.start {
+				t.Fatalf("rank %d: negative span [%v,%v]", r, s.start, s.end)
+			}
+			for len(stack) > 0 && stack[len(stack)-1].end <= s.start {
+				stack = stack[:len(stack)-1]
+			}
+			if len(stack) > 0 && s.end > stack[len(stack)-1].end {
+				t.Fatalf("rank %d: span [%v,%v] partially overlaps enclosing [%v,%v]",
+					r, s.start, s.end, stack[len(stack)-1].start, stack[len(stack)-1].end)
+			}
+			stack = append(stack, s)
+		}
+	}
+}

@@ -1,0 +1,240 @@
+// Package trace provides the per-rank structured tracing and profiling
+// layer for the AMR pipeline. Every phase of the reproduction (New, Refine,
+// Partition, Balance, Ghost, Nodes, and the application solve/adapt loops)
+// emits nestable spans into a Tracer; the message-passing runtime adds
+// receive-wait spans so blocked time in collectives is attributed to the
+// phase that incurred it. A Tracer can be exported as a Chrome
+// trace-event / Perfetto JSON file (one track per rank) and aggregated into
+// the per-phase min/median/max/imbalance report the paper's Figure 4
+// analysis relies on.
+//
+// Design constraints, in order:
+//
+//  1. Zero cost when disabled: a nil *Tracer / *RankTracer is valid and
+//     every method on it is a nil-check no-op, so instrumented code pays one
+//     branch on the hot path.
+//  2. No locks on the hot path: each rank goroutine owns exactly one
+//     RankTracer and appends to its own preallocated event buffer; the
+//     buffers are only read after the rank goroutines have finished
+//     (mpi.Run joins them), so no synchronization is needed.
+//  3. Monotonic time: span timestamps are time.Since(epoch) durations, so
+//     they are immune to wall-clock adjustments and directly comparable
+//     across ranks of one run.
+package trace
+
+import "time"
+
+// Category classifies a span for export and wait attribution.
+type Category uint8
+
+const (
+	// CatPhase marks algorithm phases (the default).
+	CatPhase Category = iota
+	// CatComm marks message-passing operations (collectives, exchanges).
+	CatComm
+	// CatWait marks leaf spans of time spent blocked waiting for messages.
+	// Wait spans are the only spans counted by wait attribution; keeping
+	// them leaves prevents double counting when collectives nest.
+	CatWait
+)
+
+// String returns the Chrome-trace category label.
+func (c Category) String() string {
+	switch c {
+	case CatComm:
+		return "comm"
+	case CatWait:
+		return "wait"
+	}
+	return "phase"
+}
+
+// Arg is one key/value annotation attached to a span (e.g. balance rounds).
+type Arg struct {
+	Key string
+	Val int64
+}
+
+// Event is one completed (or still-open) span on one rank. Start is
+// monotonic time since the Tracer epoch; Dur is negative while the span is
+// open. Wait accumulates the blocked time of CatWait descendants, giving
+// each phase its wait-vs-compute split without post-processing.
+type Event struct {
+	Name  string
+	Cat   Category
+	Start time.Duration
+	Dur   time.Duration
+	Depth int
+	Wait  time.Duration
+	Args  []Arg
+}
+
+// openDur marks an event whose End has not run yet.
+const openDur = time.Duration(-1)
+
+// waitEventMin is the shortest blocked interval emitted as its own wait
+// span in the trace; shorter waits are still accumulated into the
+// enclosing spans' Wait totals. The floor keeps fine-grained exchanges
+// from flooding the trace with sub-microsecond events.
+const waitEventMin = 20 * time.Microsecond
+
+// Tracer owns the per-rank buffers of one traced run. Create it with New
+// sized to the world, hand it to mpi.RunTraced, and read it (export,
+// aggregate) only after the run has completed.
+type Tracer struct {
+	epoch time.Time
+	now   func() time.Duration // monotonic clock; replaced by tests
+	ranks []*RankTracer
+}
+
+// New returns a Tracer with one span buffer per rank.
+func New(numRanks int) *Tracer {
+	if numRanks < 1 {
+		panic("trace: numRanks < 1")
+	}
+	t := &Tracer{epoch: time.Now()}
+	t.now = func() time.Duration { return time.Since(t.epoch) }
+	t.ranks = make([]*RankTracer, numRanks)
+	for i := range t.ranks {
+		t.ranks[i] = &RankTracer{
+			tracer: t,
+			rank:   i,
+			events: make([]Event, 0, 4096),
+			stack:  make([]int, 0, 16),
+		}
+	}
+	return t
+}
+
+// NumRanks returns the number of rank buffers (0 for a nil Tracer).
+func (t *Tracer) NumRanks() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.ranks)
+}
+
+// Rank returns rank r's tracer, or nil for a nil Tracer, so call sites
+// stay nil-safe without checking the Tracer first.
+func (t *Tracer) Rank(r int) *RankTracer {
+	if t == nil {
+		return nil
+	}
+	return t.ranks[r]
+}
+
+// RankTracer records the spans of one rank goroutine. It must only be used
+// by the goroutine that owns the rank; this is what makes the hot path
+// lock-free.
+type RankTracer struct {
+	tracer *Tracer
+	rank   int
+	events []Event
+	stack  []int // indices into events of the currently open spans
+}
+
+// Rank returns the owning rank id.
+func (r *RankTracer) Rank() int {
+	if r == nil {
+		return -1
+	}
+	return r.rank
+}
+
+// Begin opens a CatPhase span. Spans nest: every Begin must be matched by
+// an End on the same rank, innermost first.
+func (r *RankTracer) Begin(name string) { r.BeginCat(name, CatPhase) }
+
+// BeginCat opens a span with an explicit category.
+func (r *RankTracer) BeginCat(name string, cat Category) {
+	if r == nil {
+		return
+	}
+	r.events = append(r.events, Event{
+		Name:  name,
+		Cat:   cat,
+		Start: r.tracer.now(),
+		Dur:   openDur,
+		Depth: len(r.stack),
+	})
+	r.stack = append(r.stack, len(r.events)-1)
+}
+
+// End closes the innermost open span. End on a nil tracer or an empty
+// stack is a no-op.
+func (r *RankTracer) End() {
+	if r == nil || len(r.stack) == 0 {
+		return
+	}
+	i := r.stack[len(r.stack)-1]
+	r.stack = r.stack[:len(r.stack)-1]
+	ev := &r.events[i]
+	ev.Dur = r.tracer.now() - ev.Start
+}
+
+// Span runs fn inside a span. The span closes even if fn panics.
+func (r *RankTracer) Span(name string, fn func()) {
+	if r == nil {
+		fn()
+		return
+	}
+	r.Begin(name)
+	defer r.End()
+	fn()
+}
+
+// noop is returned by StartSpan on a nil tracer so the disabled path does
+// not allocate a closure.
+var noop = func() {}
+
+// StartSpan opens a span and returns the function that closes it, for the
+// `defer tr.StartSpan("phase")()` idiom.
+func (r *RankTracer) StartSpan(name string) func() {
+	if r == nil {
+		return noop
+	}
+	r.Begin(name)
+	return r.End
+}
+
+// Arg annotates the innermost open span with a key/value pair (exported
+// into the Chrome trace's args).
+func (r *RankTracer) Arg(key string, v int64) {
+	if r == nil || len(r.stack) == 0 {
+		return
+	}
+	ev := &r.events[r.stack[len(r.stack)-1]]
+	ev.Args = append(ev.Args, Arg{Key: key, Val: v})
+}
+
+// AddWait records d of blocked time ending now (e.g. one Recv that had to
+// wait). The duration is accumulated into every open span's Wait total —
+// attributing it to the enclosing phase — and, if long enough to matter,
+// also emitted as a leaf CatWait span.
+func (r *RankTracer) AddWait(name string, d time.Duration) {
+	if r == nil || d <= 0 {
+		return
+	}
+	for _, i := range r.stack {
+		r.events[i].Wait += d
+	}
+	if d >= waitEventMin {
+		end := r.tracer.now()
+		r.events = append(r.events, Event{
+			Name:  name,
+			Cat:   CatWait,
+			Start: end - d,
+			Dur:   d,
+			Depth: len(r.stack),
+		})
+	}
+}
+
+// Events returns the rank's recorded spans. Only call it after the rank
+// goroutine has finished; the returned slice aliases the live buffer.
+func (r *RankTracer) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	return r.events
+}
