@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: verify vet build test test-race bench fig4
+.PHONY: verify vet build test test-race bench bench-smoke fig4
 
 verify: vet build test-race
 
@@ -15,13 +15,18 @@ build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -timeout 5m ./...
 
 test-race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 5m ./...
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# One iteration of every collective benchmark case: catches deadlocks or
+# regressions in the tree/star/sparse paths without paying for full timing.
+bench-smoke:
+	$(GO) test -run '^$$' -bench=Collectives -benchtime=1x -timeout 5m ./internal/mpi/
 
 # Regenerate the Figure 4 weak-scaling table (with the per-phase imbalance
 # and recv-wait columns) into results/.

@@ -25,6 +25,18 @@ import (
 	"repro/internal/trace"
 )
 
+// fmtBytes renders a byte count with a binary-prefix unit.
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}
+
 func main() {
 	baseLevel := flag.Int("base-level", 1, "refinement level of the smallest run")
 	baseRanks := flag.Int("base-ranks", 1, "rank count of the smallest run")
@@ -83,6 +95,13 @@ func main() {
 		fmt.Printf("  ranks %6d: balance %5.1f%%  nodes %5.1f%%  partition %5.1f%%  ghost %5.1f%%  new+refine %5.1f%%\n",
 			r.Ranks, 100*r.BalSec/tot, 100*r.NodesSec/tot, 100*r.PartSec/tot,
 			100*r.GhostSec/tot, 100*(r.NewSec+r.RefineSec)/tot)
+	}
+
+	fmt.Println()
+	fmt.Println("Communication volume (aggregate payload bytes sent, per-tag stats):")
+	for _, r := range rows {
+		fmt.Printf("  ranks %6d: partition %9s  balance %9s  ghost %9s\n",
+			r.Ranks, fmtBytes(r.PartBytes), fmtBytes(r.BalBytes), fmtBytes(r.GhostBytes))
 	}
 
 	fmt.Println()

@@ -112,7 +112,7 @@ func (f *Forest) routeDemands(demands map[octant.Octant]int8) []demand {
 			out[r] = append(out[r], demand{O: o, MinLevel: min})
 		}
 	}
-	in := mpi.SparseExchange(f.Comm, out, tagBalance)
+	in := mpi.SparseExchange(f.Comm, out, TagBalance)
 	var mine []demand
 	for _, ds := range in {
 		mine = append(mine, ds...)

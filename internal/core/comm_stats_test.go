@@ -1,0 +1,70 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/connectivity"
+	"repro/internal/mpi"
+)
+
+// ghostCommVolume builds a balanced forest at the given refinement depth
+// and returns the global ghost count plus the aggregate bytes sent on the
+// Ghost exchange tag.
+func ghostCommVolume(t *testing.T, maxLevel int8) (ghosts, bytes int64) {
+	t.Helper()
+	const p = 6
+	conn := connectivity.Brick(2, 2, 1, false, false, false)
+	mpi.Run(p, func(c *mpi.Comm) {
+		f := New(c, conn, 1)
+		f.Refine(true, maxLevel, fractalRefine(maxLevel))
+		f.Balance(BalanceFull)
+		f.Partition()
+		c.ResetStats()
+		g := f.Ghost()
+		st := c.Stats()
+		var sent int64
+		if ts := st.ByTag[TagGhost]; ts != nil {
+			sent = ts.BytesSent
+		}
+		// A rank's received ghost bytes must cover the octants it actually
+		// holds as ghosts (17 wire bytes each), i.e. the volume reflects
+		// real octant payloads rather than bare message envelopes.
+		var recvd int64
+		if ts := st.ByTag[TagGhost]; ts != nil {
+			recvd = ts.BytesRecvd
+		}
+		if min := 17 * int64(g.NumGhosts()); recvd < min {
+			t.Errorf("rank %d: ghost bytes recvd %d < 17 x %d ghosts", c.Rank(), recvd, g.NumGhosts())
+		}
+		gsum := mpi.AllreduceSum(c, int64(g.NumGhosts()))
+		bsum := mpi.AllreduceSum(c, sent)
+		if c.Rank() == 0 {
+			ghosts, bytes = gsum, bsum
+		}
+	})
+	return ghosts, bytes
+}
+
+// TestGhostBytesScaleWithGhostCount asserts the per-tag communication
+// volume of Ghost grows with the number of ghost octants (i.e. with the
+// partition-boundary size), which only holds when octant payload slices
+// are sized at their real wire volume by the statistics.
+func TestGhostBytesScaleWithGhostCount(t *testing.T) {
+	coarseGhosts, coarseBytes := ghostCommVolume(t, 2)
+	fineGhosts, fineBytes := ghostCommVolume(t, 3)
+	if coarseGhosts == 0 || coarseBytes == 0 {
+		t.Fatalf("coarse run saw no ghost traffic: %d ghosts, %d bytes", coarseGhosts, coarseBytes)
+	}
+	if fineGhosts <= coarseGhosts {
+		t.Fatalf("refinement did not grow the boundary: %d -> %d ghosts", coarseGhosts, fineGhosts)
+	}
+	if fineBytes <= coarseBytes {
+		t.Errorf("ghost bytes did not scale with ghost count: %d ghosts/%d bytes -> %d ghosts/%d bytes",
+			coarseGhosts, coarseBytes, fineGhosts, fineBytes)
+	}
+	// Sent payload volume must at least cover one 17-byte octant per ghost
+	// (each ghost was shipped by its owner at least once).
+	if fineBytes < 17*fineGhosts {
+		t.Errorf("ghost volume %d bytes below 17 x %d ghosts", fineBytes, fineGhosts)
+	}
+}

@@ -80,7 +80,7 @@ func (f *Forest) Ghost() *GhostLayer {
 		}
 		out[r] = list
 	}
-	in := mpi.SparseExchange(f.Comm, out, tagGhost)
+	in := mpi.SparseExchange(f.Comm, out, TagGhost)
 
 	g := &GhostLayer{}
 	type ownedOct struct {
@@ -186,7 +186,7 @@ func (f *Forest) GhostLayers(layers int) *GhostLayer {
 				}
 			}
 		}
-		in := mpi.SparseExchange(f.Comm, req, tagGhost+ring*2)
+		in := mpi.SparseExchange(f.Comm, req, TagGhost+ring*2)
 		reply := make(map[int][]octant.Octant)
 		var peers []int
 		for r := range in {
@@ -212,7 +212,7 @@ func (f *Forest) GhostLayers(layers int) *GhostLayer {
 				}
 			}
 		}
-		back := mpi.SparseExchange(f.Comm, reply, tagGhost+ring*2+10)
+		back := mpi.SparseExchange(f.Comm, reply, TagGhost+ring*2+10)
 		var srcs []int
 		for r := range back {
 			srcs = append(srcs, r)

@@ -137,7 +137,7 @@ func (f *Forest) LNodes(ghost *GhostLayer, degree int) *LNodes {
 			req[r] = append(req[r], k)
 		}
 	}
-	inReq := mpi.SparseExchange(f.Comm, req, tagNodesReq+40)
+	inReq := mpi.SparseExchange(f.Comm, req, TagNodesReq+40)
 	rep := make(map[int][]int64)
 	var repRanks []int
 	for r := range inReq {
@@ -155,7 +155,7 @@ func (f *Forest) LNodes(ghost *GhostLayer, degree int) *LNodes {
 		}
 		rep[r] = ids
 	}
-	inRep := mpi.SparseExchange(f.Comm, rep, tagNodesRep+40)
+	inRep := mpi.SparseExchange(f.Comm, rep, TagNodesRep+40)
 	for r, ks := range req {
 		ids := inRep[r]
 		for j, k := range ks {
@@ -235,7 +235,7 @@ func (ln *LNodes) AssembleSum(v []float64) {
 		}
 		out[r] = cb
 	}
-	in := mpi.SparseExchange(ln.comm, out, tagNodesReq+60)
+	in := mpi.SparseExchange(ln.comm, out, TagNodesReq+60)
 	keyIdx := make(map[connectivity.TreePoint]int32, len(ln.Keys))
 	for i, k := range ln.Keys {
 		keyIdx[k] = int32(i)
@@ -271,7 +271,7 @@ func (ln *LNodes) AssembleSum(v []float64) {
 		}
 		back[r] = rep
 	}
-	inBack := mpi.SparseExchange(ln.comm, back, tagNodesReq+62)
+	inBack := mpi.SparseExchange(ln.comm, back, TagNodesReq+62)
 	for r, cb := range inBack {
 		if r == ln.comm.Rank() {
 			continue

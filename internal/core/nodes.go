@@ -179,7 +179,7 @@ func (f *Forest) Nodes(ghost *GhostLayer) *Nodes {
 			nd.reqLists[r] = append(nd.reqLists[r], int32(i))
 		}
 	}
-	inReq := mpi.SparseExchange(f.Comm, req, tagNodesReq)
+	inReq := mpi.SparseExchange(f.Comm, req, TagNodesReq)
 	rep := make(map[int][]int64)
 	nd.serveLists = make(map[int][]int32)
 	var repRanks []int
@@ -201,7 +201,7 @@ func (f *Forest) Nodes(ghost *GhostLayer) *Nodes {
 		rep[r] = ids
 		nd.serveLists[r] = serve
 	}
-	inRep := mpi.SparseExchange(f.Comm, rep, tagNodesRep)
+	inRep := mpi.SparseExchange(f.Comm, rep, TagNodesRep)
 	for r, ks := range req {
 		ids := inRep[r]
 		if len(ids) != len(ks) {
@@ -404,13 +404,13 @@ func (nd *Nodes) assemble(v []float64, tag int, op func(a, b float64) float64) {
 // v is indexed by local node. This is the parallel scatter-gather the
 // paper's cG solver uses for unknowns shared between cores (§II.E).
 func (nd *Nodes) AssembleSum(v []float64) {
-	nd.assemble(v, tagNodesRep+10, func(a, b float64) float64 { return a + b })
+	nd.assemble(v, TagNodesRep+10, func(a, b float64) float64 { return a + b })
 }
 
 // AssembleMax combines shared-node values with max instead of addition
 // (used for marker fields and error indicators).
 func (nd *Nodes) AssembleMax(v []float64) {
-	nd.assemble(v, tagNodesRep+20, func(a, b float64) float64 {
+	nd.assemble(v, TagNodesRep+20, func(a, b float64) float64 {
 		if a > b {
 			return a
 		}
@@ -432,7 +432,7 @@ func (nd *Nodes) AssembleSumVec(nc int, v []float64) {
 		}
 		out[r] = vals
 	}
-	in := mpi.SparseExchange(nd.comm, out, tagNodesRep+30)
+	in := mpi.SparseExchange(nd.comm, out, TagNodesRep+30)
 	var ranks []int
 	for r := range in {
 		ranks = append(ranks, r)
@@ -458,7 +458,7 @@ func (nd *Nodes) AssembleSumVec(nc int, v []float64) {
 		}
 		back[r] = vals
 	}
-	inBack := mpi.SparseExchange(nd.comm, back, tagNodesRep+32)
+	inBack := mpi.SparseExchange(nd.comm, back, TagNodesRep+32)
 	for r, vals := range inBack {
 		if r == nd.comm.Rank() {
 			continue

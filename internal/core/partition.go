@@ -7,15 +7,17 @@ import (
 	"repro/internal/octant"
 )
 
-// exchange tags used by the collective forest algorithms (SparseExchange
-// claims tag and tag+1).
+// Exchange tags used by the collective forest algorithms (SparseExchange
+// payloads travel on the given tag; tag+1 stays reserved). The constants
+// are exported so experiments and benchmarks can attribute per-tag
+// communication volume (mpi.Stats.ByTag) to the owning phase.
 const (
-	tagPartition = 100
-	tagBalance   = 110
-	tagGhost     = 120
-	tagNodesReq  = 130
-	tagNodesRep  = 140
-	tagTransfer  = 150
+	TagPartition = 100
+	TagBalance   = 110
+	TagGhost     = 120
+	TagNodesReq  = 130
+	TagNodesRep  = 140
+	TagTransfer  = 150
 )
 
 // Partition redistributes the leaves so every rank holds an equal share
@@ -136,7 +138,7 @@ func (f *Forest) partitionByDest(dest func(i int) int) int64 {
 		}
 		i = j
 	}
-	in := mpi.SparseExchange(f.Comm, out, tagPartition)
+	in := mpi.SparseExchange(f.Comm, out, TagPartition)
 	srcs := make([]int, 0, len(in))
 	for s := range in {
 		srcs = append(srcs, s)

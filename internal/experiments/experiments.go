@@ -70,6 +70,16 @@ type Fig4Row struct {
 	// BalanceRounds is the ripple-round count Balance needed.
 	BalanceRounds int
 
+	// PartBytes, BalBytes, and GhostBytes are the aggregate payload bytes
+	// sent across all ranks on the Partition, Balance, and Ghost exchange
+	// tags (from the per-tag mpi.Stats), sized at real octant/demand wire
+	// volume. The paper's claim that Balance and Ghost communication
+	// "scales roughly with the number of octants on the partition
+	// boundaries" is checked against these columns.
+	PartBytes  int64
+	BalBytes   int64
+	GhostBytes int64
+
 	// PhaseImb and PhaseWait are filled when the run is traced: per phase
 	// (new, refine, partition, balance, ghost, nodes), the max/avg rank
 	// imbalance and the fraction of the phase spent blocked in receives.
@@ -123,6 +133,16 @@ func RunFig4Traced(ranks int, level int8, tr *trace.Tracer) Fig4Row {
 		r.Octants = f.NumGlobal()
 		r.PerRank = float64(r.Octants) / float64(ranks) / 1e6
 		r.BalanceRounds = f.BalanceRounds
+		st := c.Stats()
+		byTag := func(tag int) int64 {
+			if ts := st.ByTag[tag]; ts != nil {
+				return ts.BytesSent
+			}
+			return 0
+		}
+		r.PartBytes = mpi.AllreduceSum(c, byTag(core.TagPartition))
+		r.BalBytes = mpi.AllreduceSum(c, byTag(core.TagBalance))
+		r.GhostBytes = mpi.AllreduceSum(c, byTag(core.TagGhost))
 		if r.Octants > 0 {
 			moct := float64(r.Octants) / 1e6
 			r.BalNorm = r.BalSec / moct

@@ -23,13 +23,26 @@ import (
 // AnySource matches messages from any sending rank in Recv.
 const AnySource = -1
 
-// internal tags used by collectives; user tags must be >= 0.
+// internal tags used by collectives; user tags must be >= 0. Every
+// collective type owns a distinct tag so that tree rounds of different
+// collectives issued back-to-back (or with different roots) can never
+// cross-match: within one tag, correctness rests on the per-channel FIFO
+// rule — messages between a fixed (sender, receiver) pair with one tag
+// are received in send order, so the k-th matching receive of a channel
+// sees the k-th send even when ranks are in different calls of the same
+// collective type.
 const (
-	tagBarrier = -2
-	tagBcast   = -3
-	tagGather  = -4
-	tagScatter = -5
-	tagPtp     = -6 // reserved base for internal point-to-point phases
+	tagBarrier    = -2
+	tagBcast      = -3
+	tagGather     = -4
+	tagScatter    = -5
+	tagPtp        = -6 // reserved base for internal point-to-point phases
+	tagReduce     = -7
+	tagAllgather  = -8
+	tagAllreduce  = -9
+	tagExScan     = -10
+	tagSparseUp   = -11 // SparseExchange discovery: reduction toward rank 0
+	tagSparseDown = -12 // SparseExchange discovery: scatter of source lists
 )
 
 // World owns the mailboxes and statistics for a set of ranks.
@@ -168,7 +181,13 @@ func (m *mailbox) take(from, tag int) message {
 	for {
 		for i, msg := range m.queue {
 			if msg.tag == tag && (from == AnySource || msg.from == from) {
-				m.queue = append(m.queue[:i], m.queue[i+1:]...)
+				// Shift the tail down and zero the vacated slot so the
+				// backing array drops its reference to the delivered
+				// payload (octant slices must not stay reachable through
+				// drained queues).
+				copy(m.queue[i:], m.queue[i+1:])
+				m.queue[len(m.queue)-1] = message{}
+				m.queue = m.queue[:len(m.queue)-1]
 				return msg
 			}
 		}

@@ -1,0 +1,92 @@
+package mpi
+
+import "testing"
+
+// Wire-shaped mirrors of the forest payload types (the mpi package cannot
+// import the packages that define them): an octant is three int32
+// coordinates, an int8 level, and an int32 tree id — 17 bytes.
+type wireOct struct {
+	X, Y, Z int32
+	Level   int8
+	Tree    int32
+}
+
+type wireDemand struct {
+	O        wireOct
+	MinLevel int8
+}
+
+type wireParcel struct {
+	Leaves []wireOct
+	Data   []float64
+}
+
+type wireSizer struct{}
+
+func (wireSizer) WireBytes() int64 { return 999 }
+
+// TestPayloadBytesStructural asserts forest-shaped payloads are sized at
+// their real wire volume by the structural estimator instead of counting
+// as bare 16-byte envelopes (the bug that made Ghost/Balance/Partition
+// byte volumes vacuous).
+func TestPayloadBytesStructural(t *testing.T) {
+	const envelope = 16
+	cases := []struct {
+		name    string
+		payload any
+		want    int64
+	}{
+		{"octant slice", make([]wireOct, 10), envelope + 10*17},
+		{"demand slice", make([]wireDemand, 4), envelope + 4*18},
+		{"empty octant slice", []wireOct{}, envelope},
+		{"fixed struct", wireOct{}, envelope + 17},
+		{"parcel", wireParcel{Leaves: make([]wireOct, 3), Data: make([]float64, 5)},
+			envelope + 3*17 + 5*8},
+		{"slice of slices", [][]wireOct{make([]wireOct, 2), make([]wireOct, 3)},
+			envelope + 5*17},
+		{"source-list map", map[int][]int32{1: {1, 2}, 5: {3}}, envelope + 2*8 + 3*4},
+		{"fixed map", map[int]int64{1: 1, 2: 2, 3: 3}, envelope + 3*16},
+		{"array", [4]int32{}, envelope + 16},
+		{"string", "hello", envelope + 5},
+		{"sizer wins", wireSizer{}, envelope + 999},
+		{"empty struct", struct{}{}, envelope},
+	}
+	for _, tc := range cases {
+		if got := payloadBytes(tc.payload); got != tc.want {
+			t.Errorf("%s: payloadBytes = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestSparseExchangeAccountsPayloadVolume sends octant-shaped slices
+// through SparseExchange and asserts the per-tag byte counters grow with
+// the element count, not just the message count.
+func TestSparseExchangeAccountsPayloadVolume(t *testing.T) {
+	const p = 4
+	const tag = 95
+	volume := func(elems int) int64 {
+		var total int64
+		Run(p, func(c *Comm) {
+			r := c.Rank()
+			c.ResetStats()
+			out := map[int][]wireOct{(r + 1) % p: make([]wireOct, elems)}
+			SparseExchange(c, out, tag)
+			var tagged int64
+			if ts := c.Stats().ByTag[tag]; ts != nil {
+				tagged = ts.BytesSent
+			}
+			sum := AllreduceSum(c, tagged)
+			if r == 0 {
+				total = sum
+			}
+		})
+		return total
+	}
+	small, large := volume(2), volume(50)
+	if large <= small {
+		t.Fatalf("payload bytes did not grow with element count: %d -> %d", small, large)
+	}
+	if want := int64(p * (16 + 50*17)); large != want {
+		t.Errorf("large volume = %d, want %d", large, want)
+	}
+}

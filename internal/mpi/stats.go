@@ -1,7 +1,9 @@
 package mpi
 
 import (
+	"reflect"
 	"strconv"
+	"sync"
 	"time"
 )
 
@@ -79,6 +81,18 @@ func TagName(tag int) string {
 		return "gather"
 	case tagScatter:
 		return "scatter"
+	case tagReduce:
+		return "reduce"
+	case tagAllgather:
+		return "allgather"
+	case tagAllreduce:
+		return "allreduce"
+	case tagExScan:
+		return "exscan"
+	case tagSparseUp:
+		return "sparse.up"
+	case tagSparseDown:
+		return "sparse.down"
 	}
 	if tag < 0 {
 		return "internal"
@@ -86,9 +100,13 @@ func TagName(tag int) string {
 	return "tag" + strconv.Itoa(tag)
 }
 
-// payloadBytes estimates the wire size of a payload for the statistics. The
-// estimate covers the payload types used by the forest algorithms; unknown
-// types count a fixed envelope only.
+// payloadBytes estimates the wire size of a payload for the statistics.
+// Common scalar and flat-slice payloads hit the explicit fast paths; a
+// Sizer payload reports its own size; everything else — octant slices,
+// demand lists, nested structs, maps — is sized by structural reflection
+// (element wire size x length for slices of pointer-free element types,
+// recursion otherwise), so forest payloads are accounted at their real
+// volume instead of as bare envelopes.
 func payloadBytes(p any) int64 {
 	const envelope = 16 // from, tag, header
 	switch v := p.(type) {
@@ -115,11 +133,134 @@ func payloadBytes(p any) int64 {
 	case Sizer:
 		return envelope + v.WireBytes()
 	default:
-		return envelope
+		return envelope + reflectBytes(reflect.ValueOf(p), 0)
 	}
 }
 
-// Sizer lets payload types report their wire size for the statistics.
+// Sizer lets payload types report their wire size for the statistics,
+// overriding the structural estimate.
 type Sizer interface {
 	WireBytes() int64
+}
+
+// reflectBytes estimates the wire size of an arbitrary payload value by
+// structural traversal. depth bounds pathological nesting.
+func reflectBytes(v reflect.Value, depth int) int64 {
+	if depth > 16 {
+		return 0
+	}
+	switch v.Kind() {
+	case reflect.Slice, reflect.Array:
+		n := v.Len()
+		if n == 0 {
+			return 0
+		}
+		if sz, fixed := fixedWireSize(v.Type().Elem()); fixed {
+			return int64(n) * sz
+		}
+		var sum int64
+		for i := 0; i < n; i++ {
+			sum += reflectBytes(v.Index(i), depth+1)
+		}
+		return sum
+	case reflect.Map:
+		keySz, keyFixed := fixedWireSize(v.Type().Key())
+		valSz, valFixed := fixedWireSize(v.Type().Elem())
+		if keyFixed && valFixed {
+			return int64(v.Len()) * (keySz + valSz)
+		}
+		var sum int64
+		iter := v.MapRange()
+		for iter.Next() {
+			if keyFixed {
+				sum += keySz
+			} else {
+				sum += reflectBytes(iter.Key(), depth+1)
+			}
+			if valFixed {
+				sum += valSz
+			} else {
+				sum += reflectBytes(iter.Value(), depth+1)
+			}
+		}
+		return sum
+	case reflect.Struct:
+		if sz, fixed := fixedWireSize(v.Type()); fixed {
+			return sz
+		}
+		var sum int64
+		for i := 0; i < v.NumField(); i++ {
+			sum += reflectBytes(v.Field(i), depth+1)
+		}
+		return sum
+	case reflect.Pointer, reflect.Interface:
+		if v.IsNil() {
+			return 0
+		}
+		return reflectBytes(v.Elem(), depth+1)
+	case reflect.String:
+		return int64(v.Len())
+	default:
+		if sz, fixed := fixedWireSize(v.Type()); fixed {
+			return sz
+		}
+		return 0
+	}
+}
+
+// wireSizeCache memoizes fixedWireSize results; payloadBytes runs on both
+// sides of every message, concurrently across rank goroutines.
+var wireSizeCache sync.Map // reflect.Type -> int64 (negative: not fixed)
+
+// fixedWireSize returns the wire size shared by all values of t when that
+// size is value-independent: scalars, and arrays/structs composed of
+// them. Types reaching through pointers, slices, maps, strings, or
+// interfaces are not fixed and must be traversed per value.
+func fixedWireSize(t reflect.Type) (int64, bool) {
+	if sz, ok := wireSizeCache.Load(t); ok {
+		s := sz.(int64)
+		return s, s >= 0
+	}
+	sz, fixed := computeFixedWireSize(t)
+	if !fixed {
+		wireSizeCache.Store(t, int64(-1))
+		return 0, false
+	}
+	wireSizeCache.Store(t, sz)
+	return sz, true
+}
+
+func computeFixedWireSize(t reflect.Type) (int64, bool) {
+	switch t.Kind() {
+	case reflect.Bool, reflect.Int8, reflect.Uint8:
+		return 1, true
+	case reflect.Int16, reflect.Uint16:
+		return 2, true
+	case reflect.Int32, reflect.Uint32, reflect.Float32:
+		return 4, true
+	case reflect.Int, reflect.Int64, reflect.Uint, reflect.Uint64,
+		reflect.Float64, reflect.Uintptr:
+		return 8, true
+	case reflect.Complex64:
+		return 8, true
+	case reflect.Complex128:
+		return 16, true
+	case reflect.Array:
+		sz, ok := fixedWireSize(t.Elem())
+		if !ok {
+			return 0, false
+		}
+		return sz * int64(t.Len()), true
+	case reflect.Struct:
+		var sum int64
+		for i := 0; i < t.NumField(); i++ {
+			sz, ok := fixedWireSize(t.Field(i).Type)
+			if !ok {
+				return 0, false
+			}
+			sum += sz
+		}
+		return sum, true
+	}
+	return 0, false
 }
