@@ -3,8 +3,9 @@
 # so plain `go test` is not enough). CI runs `make verify`.
 
 GO ?= go
+PR ?= 4
 
-.PHONY: verify vet build test test-race bench bench-smoke fig4
+.PHONY: verify vet build test test-race bench bench-smoke bench-record fig4
 
 verify: vet build test-race
 
@@ -23,10 +24,21 @@ test-race:
 bench:
 	$(GO) test -bench=. -benchmem .
 
-# One iteration of every collective benchmark case: catches deadlocks or
-# regressions in the tree/star/sparse paths without paying for full timing.
+# One iteration of every collective benchmark case plus the solver step
+# benchmarks: catches deadlocks or regressions in the tree/star/sparse and
+# split-phase exchange paths without paying for full timing. The allocation
+# regression tests run here too (without -race: AllocsPerRun pins only hold
+# in normal builds).
 bench-smoke:
 	$(GO) test -run '^$$' -bench=Collectives -benchtime=1x -timeout 5m ./internal/mpi/
+	$(GO) test -run '^$$' -bench='Benchmark(Advect|Seismic)Step' -benchtime=1x -benchmem -timeout 5m ./internal/advect/ ./internal/seismic/
+	$(GO) test -run 'Allocs' -timeout 5m ./internal/mangll/ ./internal/advect/ ./internal/seismic/
+
+# Archive the solver step benchmarks (ns/op, B/op, allocs/op) as
+# BENCH_$(PR).json for cross-PR comparison.
+bench-record:
+	$(GO) test -run '^$$' -bench='Benchmark(Advect|Seismic)Step' -benchtime=10x -benchmem -timeout 10m ./internal/advect/ ./internal/seismic/ \
+		| $(GO) run ./cmd/benchjson > BENCH_$(PR).json
 
 # Regenerate the Figure 4 weak-scaling table (with the per-phase imbalance
 # and recv-wait columns) into results/.

@@ -1,0 +1,103 @@
+// Command benchjson converts `go test -bench` text output on stdin into a
+// JSON record on stdout, so benchmark runs can be archived and diffed
+// across PRs (see `make bench-record`).
+//
+//	go test -bench 'Step' -benchmem ./... | go run ./cmd/benchjson > BENCH.json
+//
+// Each benchmark line
+//
+//	BenchmarkAdvectStep/P8/overlap-16  100  1234567 ns/op  42 B/op  3 allocs/op
+//
+// becomes an entry {"name": ..., "iterations": ..., "metrics": {"ns/op":
+// ..., "B/op": ..., "allocs/op": ...}}. Context lines (goos, goarch, pkg,
+// cpu) are carried into the header of the enclosing record.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type entry struct {
+	Name       string             `json:"name"`
+	Pkg        string             `json:"pkg,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type record struct {
+	Context    map[string]string `json:"context"`
+	Benchmarks []entry           `json:"benchmarks"`
+}
+
+func main() {
+	rec := record{Context: map[string]string{}, Benchmarks: []entry{}}
+	pkg := ""
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || line == "PASS" || strings.HasPrefix(line, "ok "):
+			continue
+		case strings.HasPrefix(line, "goos:"),
+			strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "cpu:"):
+			k, v, _ := strings.Cut(line, ":")
+			rec.Context[k] = strings.TrimSpace(v)
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		e, err := parseBench(line)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: skipping %q: %v\n", line, err)
+			continue
+		}
+		e.Pkg = pkg
+		rec.Benchmarks = append(rec.Benchmarks, e)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rec); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: write: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseBench splits "Name-P iters v1 u1 v2 u2 ..." into an entry; the -P
+// GOMAXPROCS suffix is kept as part of the name.
+func parseBench(line string) (entry, error) {
+	f := strings.Fields(line)
+	if len(f) < 2 {
+		return entry{}, fmt.Errorf("too few fields")
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return entry{}, fmt.Errorf("iterations: %v", err)
+	}
+	e := entry{Name: f[0], Iterations: iters, Metrics: map[string]float64{}}
+	rest := f[2:]
+	if len(rest)%2 != 0 {
+		return entry{}, fmt.Errorf("odd value/unit tail")
+	}
+	for i := 0; i < len(rest); i += 2 {
+		v, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return entry{}, fmt.Errorf("value %q: %v", rest[i], err)
+		}
+		e.Metrics[rest[i+1]] = v
+	}
+	return e, nil
+}

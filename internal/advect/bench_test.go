@@ -1,0 +1,51 @@
+package advect
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/mpi"
+)
+
+// benchOpts fixes a uniform level-2 shell (MaxLevel == Level suppresses the
+// initial adaptation loop) so every variant steps the identical mesh.
+func benchOpts() Options {
+	o := DefaultOptions()
+	o.Degree = 3
+	o.Level = 2
+	o.MaxLevel = 2
+	return o
+}
+
+// BenchmarkAdvectStep measures one RK step of the advection solver per
+// rank-count and exchange mode. "overlap" runs the split-phase ghost
+// exchange with volume and interior-face kernels between Start and Finish;
+// "blocking" completes the exchange up front (the pre-overlap baseline).
+// Run with -benchmem: steady-state allocs/op is pinned by the tests and
+// must stay at zero for P=1. The bndfrac metric is the fraction of local
+// elements touching a partition boundary — the share of face work that
+// cannot overlap with communication.
+func BenchmarkAdvectStep(b *testing.B) {
+	for _, p := range []int{1, 8, 64} {
+		for _, mode := range []string{"overlap", "blocking"} {
+			b.Run(fmt.Sprintf("P%d/%s", p, mode), func(b *testing.B) {
+				mpi.Run(p, func(c *mpi.Comm) {
+					o := benchOpts()
+					o.NoOverlap = mode == "blocking"
+					s := NewShell(c, o)
+					dt := s.DT()
+					s.Step(dt) // warm up scratch and integrator registers
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						s.Step(dt)
+					}
+					b.StopTimer()
+					if c.Rank() == 0 {
+						m := s.Mesh
+						b.ReportMetric(float64(len(m.BoundaryElems))/float64(m.NumLocal), "bndfrac")
+					}
+				})
+			})
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package advect
+
+import (
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/raceflag"
+)
+
+// TestOverlapMatchesBlockingBitwise runs the same problem with and without
+// ghost-exchange/compute overlap and requires bitwise-identical solutions:
+// both paths execute the kernels in the same order (volume, interior faces,
+// boundary faces), so even floating-point rounding must agree.
+func TestOverlapMatchesBlockingBitwise(t *testing.T) {
+	const p = 4
+	results := make([][][]float64, 2)
+	for run, noOverlap := range []bool{false, true} {
+		results[run] = make([][]float64, p)
+		mpi.Run(p, func(c *mpi.Comm) {
+			o := smallOpts()
+			o.NoOverlap = noOverlap
+			s := NewShell(c, o)
+			dt := s.DT()
+			for i := 0; i < 3; i++ {
+				s.Step(dt)
+			}
+			results[run][c.Rank()] = append([]float64(nil), s.C...)
+		})
+	}
+	for r := 0; r < p; r++ {
+		a, b := results[0][r], results[1][r]
+		if len(a) != len(b) {
+			t.Fatalf("rank %d: %d vs %d values", r, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("rank %d: overlap and blocking paths differ at %d: %v vs %v", r, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestRHSAllocs pins the steady-state allocation count of the advection
+// right-hand side at exactly zero in serial: all scratch is solver- or
+// mesh-owned, and the serial exchange path touches no heap.
+func TestRHSAllocs(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation counts differ under -race")
+	}
+	mpi.Run(1, func(c *mpi.Comm) {
+		s := NewShell(c, smallOpts())
+		dc := make([]float64, len(s.C))
+		s.RHS(s.C, dc) // warm up lazily allocated scratch
+		allocs := testing.AllocsPerRun(20, func() {
+			s.RHS(s.C, dc)
+		})
+		if allocs != 0 {
+			t.Fatalf("RHS allocates %v times per call, want 0", allocs)
+		}
+	})
+}
+
+// TestStepAllocs pins a full serial RK step (5 RHS evaluations plus the
+// integrator update) at zero steady-state allocations.
+func TestStepAllocs(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation counts differ under -race")
+	}
+	mpi.Run(1, func(c *mpi.Comm) {
+		s := NewShell(c, smallOpts())
+		dt := s.DT()
+		s.Step(dt) // warm up integrator registers and scratch
+		allocs := testing.AllocsPerRun(10, func() {
+			s.Step(dt)
+		})
+		if allocs != 0 {
+			t.Fatalf("Step allocates %v times per call, want 0", allocs)
+		}
+	})
+}

@@ -19,6 +19,10 @@ type LGL struct {
 	X []float64 // N+1 nodes in [-1, 1], ascending
 	W []float64 // quadrature weights
 	D [][]float64
+	// DF is D flattened row-major (DF[i*(N+1)+j] = D[i][j]); the hot
+	// tensor kernels read the flat form so each matrix row is one
+	// contiguous cache run instead of a pointer chase per row.
+	DF []float64
 }
 
 // legendreAndDeriv evaluates P_n(x) and P_n'(x) by recurrence.
@@ -72,7 +76,20 @@ func NewLGL(n int) *LGL {
 		l.W[i] = 2 / (float64(n) * float64(n+1) * p * p)
 	}
 	l.D = l.diffMatrix()
+	l.DF = flatten(l.D)
 	return l
+}
+
+// flatten copies a rectangular [][]float64 into row-major form.
+func flatten(rows [][]float64) []float64 {
+	if len(rows) == 0 {
+		return nil
+	}
+	out := make([]float64, 0, len(rows)*len(rows[0]))
+	for _, r := range rows {
+		out = append(out, r...)
+	}
+	return out
 }
 
 // barycentric weights of the LGL nodes.

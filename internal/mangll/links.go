@@ -3,6 +3,7 @@ package mangll
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/connectivity"
 	"repro/internal/mpi"
@@ -42,12 +43,35 @@ func imageAxis(ft *connectivity.FaceTransform, a int) (int, int32) {
 // buildLinks enumerates the face connections of all local elements. The
 // forest must be 2:1 balanced; neighbour leaves are found by the fast
 // binary searches the paper describes, in local storage or the ghost layer
-// at partition boundaries.
+// at partition boundaries. After enumeration the links and elements are
+// partitioned into interior and boundary sets: boundary links read ghost
+// data and must wait for the exchange to finish, interior links (and the
+// volume kernels) overlap with it.
 func (m *Mesh) buildLinks() {
 	m.Links = m.Links[:0]
 	for e, o := range m.F.Local {
 		for f := 0; f < 6; f++ {
 			m.linkFace(int32(e), o, f)
+		}
+	}
+
+	m.IntLinks, m.BndLinks = m.IntLinks[:0], m.BndLinks[:0]
+	onBnd := make([]bool, m.NumLocal)
+	for li := range m.Links {
+		l := &m.Links[li]
+		if l.Kind != LinkBoundary && l.NbrGhost {
+			m.BndLinks = append(m.BndLinks, int32(li))
+			onBnd[l.Elem] = true
+		} else {
+			m.IntLinks = append(m.IntLinks, int32(li))
+		}
+	}
+	m.InteriorElems, m.BoundaryElems = m.InteriorElems[:0], m.BoundaryElems[:0]
+	for e, b := range onBnd {
+		if b {
+			m.BoundaryElems = append(m.BoundaryElems, int32(e))
+		} else {
+			m.InteriorElems = append(m.InteriorElems, int32(e))
 		}
 	}
 }
@@ -131,51 +155,143 @@ func (m *Mesh) linkFace(e int32, o octant.Octant, f int) {
 	}
 }
 
+// TagGhostField is the user tag of the split-phase ghost field exchange.
+// Both sides of the exchange know their peers from the ghost layer, so the
+// messages flow directly on this tag with no discovery traffic: exactly
+// one message per directed neighbor pair per exchange.
+const TagGhostField = 300
+
 // buildGhostExchange precomputes the aligned per-rank element lists for
 // ghost field exchange: mirrors (local leaves some peer sees as ghosts) on
 // the send side, ghost slots by owner on the receive side. Both sides are
-// in curve order, so the lists align without further negotiation.
+// in curve order, so the lists align without further negotiation. Peers
+// are kept as sorted parallel slices so every exchange walks them in the
+// same deterministic order with no map iteration or per-call allocation.
 func (m *Mesh) buildGhostExchange() {
-	m.sendElems = make(map[int][]int32)
+	send := make(map[int][]int32)
 	for k, li := range m.G.Mirrors {
 		for _, r := range m.G.MirrorRanks[k] {
-			m.sendElems[r] = append(m.sendElems[r], int32(li))
+			send[r] = append(send[r], int32(li))
 		}
 	}
-	m.recvElems = make(map[int][]int32)
+	recv := make(map[int][]int32)
 	for gi, r := range m.G.Owner {
-		m.recvElems[r] = append(m.recvElems[r], int32(gi))
+		recv[r] = append(recv[r], int32(gi))
 	}
+	m.sendPeers, m.sendLists = sortedPeerLists(send)
+	m.recvPeers, m.recvLists = sortedPeerLists(recv)
+	for p := range m.sendBufs {
+		m.sendBufs[p] = make([][]float64, len(m.sendPeers))
+		m.sendBoxed[p] = make([]any, len(m.sendPeers))
+	}
+	m.recvReqs = make([]*mpi.Request, len(m.recvPeers))
+}
+
+func sortedPeerLists(byRank map[int][]int32) ([]int, [][]int32) {
+	peers := make([]int, 0, len(byRank))
+	for r := range byRank {
+		peers = append(peers, r)
+	}
+	sort.Ints(peers)
+	lists := make([][]int32, len(peers))
+	for i, r := range peers {
+		lists[i] = byRank[r]
+	}
+	return peers, lists
+}
+
+// GhostExchange is an in-flight split-phase ghost exchange started by
+// StartGhostExchange. At most one may be outstanding per mesh; the value
+// is owned by the mesh so starting an exchange does not allocate.
+type GhostExchange struct {
+	m     *Mesh
+	nc    int
+	field []float64
+}
+
+// StartGhostExchange begins filling the ghost portion of a field array:
+// it posts the receives, packs and sends the mirror elements, and returns
+// immediately so the caller can compute on interior data while the
+// messages are in flight. field holds nc values per node for
+// NumLocal+NumGhost elements; the local part [0, NumLocal*Np*nc) must be
+// filled and must not be rewritten until Finish (the sends alias nothing,
+// but the exchange semantics are a snapshot at Start). The ghost part is
+// valid after Finish returns.
+func (m *Mesh) StartGhostExchange(nc int, field []float64) *GhostExchange {
+	per := m.Np * nc
+	if len(field) != (m.NumLocal+m.NumGhost)*per {
+		panic("mangll: StartGhostExchange field length mismatch")
+	}
+	if m.exchActive {
+		panic("mangll: ghost exchange already in flight")
+	}
+	m.exchActive = true
+	c := m.F.Comm
+	// Post all receives before sending so arriving payloads complete the
+	// posted requests directly instead of sitting in the mailbox queue.
+	for k, r := range m.recvPeers {
+		m.recvReqs[k] = c.Irecv(r, TagGhostField)
+	}
+	p := m.sendParity
+	m.sendParity ^= 1
+	for k, r := range m.sendPeers {
+		list := m.sendLists[k]
+		buf, boxed := m.sendStaging(p, k, len(list)*per)
+		for i, li := range list {
+			copy(buf[i*per:(i+1)*per], field[int(li)*per:(int(li)+1)*per])
+		}
+		c.Isend(r, TagGhostField, boxed)
+	}
+	m.exch = GhostExchange{m: m, nc: nc, field: field}
+	return &m.exch
+}
+
+// sendStaging returns the parity-p staging buffer for send peer k, sized
+// to n values, together with its pre-boxed interface value (boxing a
+// slice allocates, so the boxed form is cached alongside the buffer and
+// only rebuilt when the buffer is resized).
+func (m *Mesh) sendStaging(p, k, n int) ([]float64, any) {
+	buf := m.sendBufs[p][k]
+	if len(buf) != n {
+		buf = make([]float64, n)
+		m.sendBufs[p][k] = buf
+		m.sendBoxed[p][k] = buf
+	}
+	return buf, m.sendBoxed[p][k]
+}
+
+// Finish completes the exchange: it waits for each peer's message —
+// only time actually spent blocked is attributed as receive wait — and
+// unpacks the ghost elements into the field passed to StartGhostExchange.
+func (g *GhostExchange) Finish() {
+	m := g.m
+	if !m.exchActive || g != &m.exch {
+		panic("mangll: Finish without active ghost exchange")
+	}
+	per := m.Np * g.nc
+	for k := range m.recvPeers {
+		payload, _ := m.recvReqs[k].Wait()
+		m.recvReqs[k] = nil
+		buf := payload.([]float64)
+		list := m.recvLists[k]
+		if len(buf) != len(list)*per {
+			panic("mangll: ghost exchange length mismatch")
+		}
+		for i, gi := range list {
+			dst := (m.NumLocal + int(gi)) * per
+			copy(g.field[dst:dst+per], buf[i*per:(i+1)*per])
+		}
+	}
+	m.exchActive = false
 }
 
 // ExchangeGhost fills the ghost portion of a field array. field holds nc
 // values per node for NumLocal+NumGhost elements: the local part
 // [0, NumLocal*Np*nc) must be filled; the ghost part is received from the
-// owning ranks.
+// owning ranks. It is the blocking composition of StartGhostExchange and
+// Finish, with no compute overlapped.
 func (m *Mesh) ExchangeGhost(nc int, field []float64) {
-	per := m.Np * nc
-	if len(field) != (m.NumLocal+m.NumGhost)*per {
-		panic("mangll: ExchangeGhost field length mismatch")
-	}
-	out := make(map[int][]float64, len(m.sendElems))
-	for r, list := range m.sendElems {
-		buf := make([]float64, len(list)*per)
-		for k, li := range list {
-			copy(buf[k*per:(k+1)*per], field[int(li)*per:(int(li)+1)*per])
-		}
-		out[r] = buf
-	}
-	in := mpi.SparseExchange(m.F.Comm, out, 300)
-	for r, list := range m.recvElems {
-		buf := in[r]
-		if len(buf) != len(list)*per {
-			panic("mangll: ghost exchange length mismatch")
-		}
-		for k, gi := range list {
-			dst := (m.NumLocal + int(gi)) * per
-			copy(field[dst:dst+per], buf[k*per:(k+1)*per])
-		}
-	}
+	m.StartGhostExchange(nc, field).Finish()
 }
 
 // FaceValues extracts the neighbour's face values for a link, aligned to my
@@ -212,14 +328,7 @@ func (m *Mesh) FaceValues(l *FaceLink, nc, comp int, field []float64, out []floa
 	case LinkToCoarse:
 		// Interpolate the coarse face onto my quadrant (in the neighbour's
 		// frame), then align indices.
-		qi := m.Ilo
-		if l.QuadI == 1 {
-			qi = m.Ihi
-		}
-		qj := m.Ilo
-		if l.QuadJ == 1 {
-			qj = m.Ihi
-		}
+		qi, qj := m.quadInterp(l)
 		w := m.scratchB()
 		tensor2ApplyBuf(np1, qi, qj, nb, w, m.scratchC())
 		for j := 0; j < np1; j++ {
@@ -233,20 +342,17 @@ func (m *Mesh) FaceValues(l *FaceLink, nc, comp int, field []float64, out []floa
 	}
 }
 
-// tensor2Apply computes out = (A (x) B) u on an n x n grid: out[i,j] =
-// sum_{p,q} A[i][p] B[j][q] u[p,q].
-func tensor2Apply(n int, a, b [][]float64, u, out []float64) {
-	tensor2ApplyBuf(n, a, b, u, out, make([]float64, n*n))
-}
-
-// tensor2ApplyBuf is tensor2Apply with caller-provided scratch (len n*n;
-// must not alias u or out).
-func tensor2ApplyBuf(n int, a, b [][]float64, u, out, tmp []float64) {
+// tensor2ApplyBuf computes out = (A (x) B) u on an n x n grid: out[i,j] =
+// sum_{p,q} A[i*n+p] B[j*n+q] u[p,q]. a and b are row-major n x n
+// matrices; tmp is caller-provided scratch (len n*n; must not alias u or
+// out). All internal callers route through here with mesh-owned scratch so
+// the face kernels stay allocation-free.
+func tensor2ApplyBuf(n int, a, b []float64, u, out, tmp []float64) {
 	_ = tmp[n*n-1]
 	for j := 0; j < n; j++ {
 		for i := 0; i < n; i++ {
 			var s float64
-			ai := a[i]
+			ai := a[i*n : i*n+n]
 			for p := 0; p < n; p++ {
 				s += ai[p] * u[p+n*j]
 			}
@@ -256,7 +362,7 @@ func tensor2ApplyBuf(n int, a, b [][]float64, u, out, tmp []float64) {
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			var s float64
-			bj := b[j]
+			bj := b[j*n : j*n+n]
 			for q := 0; q < n; q++ {
 				s += bj[q] * tmp[i+n*q]
 			}
@@ -277,29 +383,23 @@ func (m *Mesh) MyFaceValues(l *FaceLink, nc, comp int, field []float64, out []fl
 		mine[fn] = field[base+int(fidx[fn])*nc+comp]
 	}
 	if l.Kind == LinkToFineQuad {
-		qi := m.Ilo
-		if l.QuadI == 1 {
-			qi = m.Ihi
-		}
-		qj := m.Ilo
-		if l.QuadJ == 1 {
-			qj = m.Ihi
-		}
+		qi, qj := m.quadInterp(l)
 		tensor2ApplyBuf(np1, qi, qj, mine, out, m.scratchC())
 		return
 	}
 	copy(out, mine)
 }
 
-// quadInterp returns the 1D interpolation matrices for the link's quadrant.
-func (m *Mesh) quadInterp(l *FaceLink) (qi, qj [][]float64) {
-	qi = m.Ilo
+// quadInterp returns the flat 1D interpolation matrices for the link's
+// quadrant.
+func (m *Mesh) quadInterp(l *FaceLink) (qi, qj []float64) {
+	qi = m.iloF
 	if l.QuadI == 1 {
-		qi = m.Ihi
+		qi = m.ihiF
 	}
-	qj = m.Ilo
+	qj = m.iloF
 	if l.QuadJ == 1 {
-		qj = m.Ihi
+		qj = m.ihiF
 	}
 	return qi, qj
 }
@@ -315,7 +415,10 @@ func (m *Mesh) InterpFaceToQuad(l *FaceLink, face, out []float64) {
 // direction a. u and out may alias.
 func (m *Mesh) ApplyD(a int, u, out []float64) {
 	if &u[0] == &out[0] {
-		tmp := make([]float64, len(u))
+		if len(m.sD) < len(u) {
+			m.sD = make([]float64, len(u))
+		}
+		tmp := m.sD[:len(u)]
 		m.applyD1(a, u, tmp)
 		copy(out, tmp)
 		return
@@ -345,13 +448,7 @@ func (m *Mesh) LiftFace(l *FaceLink, g, dc []float64) {
 	case LinkToFineQuad:
 		// Integrated contribution to coarse face nodes: (1/4) * I^T W g per
 		// axis, i.e. apply Pw[i][j] = 0.5*W[j]*I[j][i] in each direction.
-		pwi, pwj := m.PwLo, m.PwLo
-		if l.QuadI == 1 {
-			pwi = m.PwHi
-		}
-		if l.QuadJ == 1 {
-			pwj = m.PwHi
-		}
+		pwi, pwj := m.quadWeighted(l)
 		gi := m.scratchB()
 		tensor2ApplyBuf(np1, pwi, pwj, g, gi, m.scratchC())
 		for fn := 0; fn < m.Nf; fn++ {
@@ -393,13 +490,7 @@ func (m *Mesh) LiftFaceStrided(l *FaceLink, nc, comp int, g, dc []float64) {
 			}
 		}
 	case LinkToFineQuad:
-		pwi, pwj := m.PwLo, m.PwLo
-		if l.QuadI == 1 {
-			pwi = m.PwHi
-		}
-		if l.QuadJ == 1 {
-			pwj = m.PwHi
-		}
+		pwi, pwj := m.quadWeighted(l)
 		gi := m.scratchB()
 		tensor2ApplyBuf(np1, pwi, pwj, g, gi, m.scratchC())
 		for fn := 0; fn < m.Nf; fn++ {
@@ -407,6 +498,20 @@ func (m *Mesh) LiftFaceStrided(l *FaceLink, nc, comp int, g, dc []float64) {
 			dc[vn*nc+comp] += m.MassInv[vn] * gi[fn]
 		}
 	}
+}
+
+// quadWeighted returns the flat weighted-transpose transfer operators for
+// the link's quadrant.
+func (m *Mesh) quadWeighted(l *FaceLink) (pwi, pwj []float64) {
+	pwi = m.pwloF
+	if l.QuadI == 1 {
+		pwi = m.pwhiF
+	}
+	pwj = m.pwloF
+	if l.QuadJ == 1 {
+		pwj = m.pwhiF
+	}
+	return pwi, pwj
 }
 
 // scratchA/B/C return per-mesh face-sized scratch buffers, allocated once.

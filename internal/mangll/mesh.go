@@ -97,6 +97,20 @@ type Mesh struct {
 
 	Links []FaceLink
 
+	// IntLinks/BndLinks partition the indices of Links: a link is a
+	// boundary link iff its flux reads ghost (remote) data, i.e.
+	// Kind != LinkBoundary && NbrGhost. Interior links — including
+	// domain-boundary faces — depend only on local data, so their kernels
+	// can run while the ghost exchange is in flight.
+	IntLinks, BndLinks []int32
+
+	// InteriorElems/BoundaryElems partition the local element indices by
+	// the same criterion: a boundary element has at least one boundary
+	// link. The ratio |Interior|/|Boundary| bounds how much compute is
+	// available to hide the exchange behind (volume kernels of all
+	// elements plus face kernels of interior links).
+	InteriorElems, BoundaryElems []int32
+
 	// Half-face interpolation matrices (1D), their exact L2 projections,
 	// and the weighted-transpose quadrature transfer operators used by the
 	// hanging-face lift.
@@ -104,17 +118,49 @@ type Mesh struct {
 	Plo, Phi   [][]float64
 	PwLo, PwHi [][]float64
 
-	// ghost exchange: per peer rank, local element indices to send and
-	// ghost element indices to receive, both in curve order.
-	sendElems map[int][]int32
-	recvElems map[int][]int32
+	// Flat row-major copies of the operators above plus the
+	// differentiation matrix; the hot tensor kernels read these so each
+	// matrix row is one contiguous cache run. The [][]float64 forms stay
+	// exported for external consumers (e.g. the float32 device backend).
+	iloF, ihiF   []float64
+	ploF, phiF   []float64
+	pwloF, pwhiF []float64
+
+	// ghost exchange: aligned per-peer element lists (parallel slices in
+	// ascending peer-rank order), local element indices to send and ghost
+	// element indices to receive, both in curve order.
+	sendPeers []int
+	sendLists [][]int32
+	recvPeers []int
+	recvLists [][]int32
+
+	// Split-phase exchange state. Send staging buffers are double
+	// buffered by exchange parity: with at most one exchange outstanding
+	// per mesh (enforced by exchActive) and symmetric neighbor relations,
+	// a rank can only reach its (k+2)-th StartGhostExchange after every
+	// peer finished unpacking the parity-k buffers (its Finish of
+	// exchange k+1 received messages the peer sent in Start k+1, which
+	// follows the peer's Finish k), so reusing a buffer two exchanges
+	// later never races a receiver still reading it even though payloads
+	// transfer by reference.
+	sendBufs   [2][][]float64
+	sendBoxed  [2][]any // pre-boxed buffer payloads (boxing allocates)
+	sendParity int
+	recvReqs   []*mpi.Request
+	exch       GhostExchange
+	exchActive bool
 
 	// MinLen is the smallest physical element edge length over all ranks
 	// (used for CFL time-step selection).
 	MinLen float64
 
-	// serially reused face-sized scratch buffers (see scratchA/B/C).
+	// serially reused face-sized scratch buffers (see scratchA/B/C) and
+	// the element-sized scratch of the aliased ApplyD path.
 	sA, sB, sC []float64
+	sD         []float64
+
+	// element-sized scratch of the transfer (interpolate/project) kernels.
+	tUc, tOc, tAcc, tT1, tT2 []float64
 }
 
 // NewMesh builds the dG mesh of degree n over the forest's current leaves.
@@ -134,6 +180,9 @@ func NewMesh(f *core.Forest, g *core.GhostLayer, l *LGL) *Mesh {
 	m.Plo, m.Phi = halfProjections(l, m.Ilo, m.Ihi)
 	m.PwLo = weightedTranspose(l, m.Ilo)
 	m.PwHi = weightedTranspose(l, m.Ihi)
+	m.iloF, m.ihiF = flatten(m.Ilo), flatten(m.Ihi)
+	m.ploF, m.phiF = flatten(m.Plo), flatten(m.Phi)
+	m.pwloF, m.pwhiF = flatten(m.PwLo), flatten(m.PwHi)
 	return m
 }
 
@@ -297,7 +346,7 @@ func (m *Mesh) buildGeometry() {
 // direction a (0,1,2), writing into out.
 func (m *Mesh) applyD1(a int, u, out []float64) {
 	np1 := m.Np1
-	d := m.L.D
+	d := m.L.DF
 	switch a {
 	case 0:
 		for k := 0; k < np1; k++ {
@@ -305,7 +354,7 @@ func (m *Mesh) applyD1(a int, u, out []float64) {
 				row := (j + np1*k) * np1
 				for i := 0; i < np1; i++ {
 					var s float64
-					di := d[i]
+					di := d[i*np1 : i*np1+np1]
 					for q := 0; q < np1; q++ {
 						s += di[q] * u[row+q]
 					}
@@ -320,7 +369,7 @@ func (m *Mesh) applyD1(a int, u, out []float64) {
 				col := i + nf*k
 				for j := 0; j < np1; j++ {
 					var s float64
-					dj := d[j]
+					dj := d[j*np1 : j*np1+np1]
 					for q := 0; q < np1; q++ {
 						s += dj[q] * u[col+q*np1]
 					}
@@ -335,7 +384,7 @@ func (m *Mesh) applyD1(a int, u, out []float64) {
 				col := i + np1*j
 				for k := 0; k < np1; k++ {
 					var s float64
-					dk := d[k]
+					dk := d[k*np1 : k*np1+np1]
 					for q := 0; q < np1; q++ {
 						s += dk[q] * u[col+q*nf]
 					}

@@ -6,11 +6,11 @@ import (
 	"repro/internal/octant"
 )
 
-// subIntervalInterp returns the matrix evaluating a nodal polynomial at the
-// LGL points of the sub-interval that child bit b occupies after `levels`
-// further bisections along one axis, following the child-bit path (most
-// significant step first).
-func subIntervalInterp(l *LGL, bits []int) [][]float64 {
+// subIntervalInterp returns the flat row-major matrix evaluating a nodal
+// polynomial at the LGL points of the sub-interval that child bit b
+// occupies after `levels` further bisections along one axis, following the
+// child-bit path (most significant step first).
+func subIntervalInterp(l *LGL, bits []int) []float64 {
 	a, b := -1.0, 1.0
 	for _, bit := range bits {
 		mid := (a + b) / 2
@@ -24,19 +24,22 @@ func subIntervalInterp(l *LGL, bits []int) [][]float64 {
 	for i, x := range l.X {
 		pts[i] = a + (b-a)*(x+1)/2
 	}
-	return l.InterpMatrix(pts)
+	return flatten(l.InterpMatrix(pts))
 }
 
-// tensor3Apply computes out[i,j,k] = sum A[i][p] B[j][q] C[k][r] u[p,q,r].
-func tensor3Apply(n int, a, b, c [][]float64, u, out []float64) {
+// tensor3ApplyBuf computes out[i,j,k] = sum A[i*n+p] B[j*n+q] C[k*n+r]
+// u[p,q,r] for flat row-major n x n matrices A, B, C, with caller-provided
+// scratch t1, t2 (len n^3 each; must not alias u or out).
+func tensor3ApplyBuf(n int, a, b, c, u, out, t1, t2 []float64) {
 	nf := n * n
-	t1 := make([]float64, n*nf)
+	_ = t1[n*nf-1]
+	_ = t2[n*nf-1]
 	for k := 0; k < n; k++ {
 		for j := 0; j < n; j++ {
 			row := (j + n*k) * n
 			for i := 0; i < n; i++ {
 				var s float64
-				ai := a[i]
+				ai := a[i*n : i*n+n]
 				for p := 0; p < n; p++ {
 					s += ai[p] * u[row+p]
 				}
@@ -44,13 +47,12 @@ func tensor3Apply(n int, a, b, c [][]float64, u, out []float64) {
 			}
 		}
 	}
-	t2 := make([]float64, n*nf)
 	for k := 0; k < n; k++ {
 		for i := 0; i < n; i++ {
 			col := i + nf*k
 			for j := 0; j < n; j++ {
 				var s float64
-				bj := b[j]
+				bj := b[j*n : j*n+n]
 				for q := 0; q < n; q++ {
 					s += bj[q] * t1[col+q*n]
 				}
@@ -63,7 +65,7 @@ func tensor3Apply(n int, a, b, c [][]float64, u, out []float64) {
 			col := i + n*j
 			for k := 0; k < n; k++ {
 				var s float64
-				ck := c[k]
+				ck := c[k*n : k*n+n]
 				for r := 0; r < n; r++ {
 					s += ck[r] * t2[col+r*nf]
 				}
@@ -71,6 +73,21 @@ func tensor3Apply(n int, a, b, c [][]float64, u, out []float64) {
 			}
 		}
 	}
+}
+
+// transferScratch returns the element-sized scratch buffers of the
+// transfer kernels, allocated once per mesh. The transfer recursion uses
+// them only between recursive calls (never across one), so a single set
+// per mesh suffices.
+func (m *Mesh) transferScratch() (uc, oc, acc, t1, t2 []float64) {
+	if m.tUc == nil {
+		m.tUc = make([]float64, m.Np)
+		m.tOc = make([]float64, m.Np)
+		m.tAcc = make([]float64, m.Np)
+		m.tT1 = make([]float64, m.Np)
+		m.tT2 = make([]float64, m.Np)
+	}
+	return m.tUc, m.tOc, m.tAcc, m.tT1, m.tT2
 }
 
 // TransferFields maps dG element fields from an old leaf array onto a new
@@ -138,13 +155,12 @@ func (m *Mesh) interpolateTo(src []float64, anc, desc octant.Octant, nc int, dst
 	ay := subIntervalInterp(m.L, bitsY)
 	az := subIntervalInterp(m.L, bitsZ)
 	np1 := m.Np1
-	uc := make([]float64, m.Np)
-	oc := make([]float64, m.Np)
+	uc, oc, _, t1, t2 := m.transferScratch()
 	for c := 0; c < nc; c++ {
 		for n := 0; n < m.Np; n++ {
 			uc[n] = src[n*nc+c]
 		}
-		tensor3Apply(np1, ax, ay, az, uc, oc)
+		tensor3ApplyBuf(np1, ax, ay, az, uc, oc, t1, t2)
 		for n := 0; n < m.Np; n++ {
 			dst[n*nc+c] = oc[n]
 		}
@@ -153,7 +169,8 @@ func (m *Mesh) interpolateTo(src []float64, anc, desc octant.Octant, nc int, dst
 
 // projectTo L2-projects the piecewise polynomial on q's descendant leaves
 // onto q, by recursive application of the one-level half-interval
-// projections.
+// projections. childBuf stays per-call because it is live across the
+// recursive calls; the element-sized scratch is not, so it is shared.
 func (m *Mesh) projectTo(l *LGL, leaves []octant.Octant, data []float64, q octant.Octant, nc int, dst []float64) {
 	per := m.Np * nc
 	if len(leaves) == 1 && leaves[0] == q {
@@ -176,31 +193,29 @@ func (m *Mesh) projectTo(l *LGL, leaves []octant.Octant, data []float64, q octan
 		lo = hi
 	}
 	np1 := m.Np1
-	uc := make([]float64, m.Np)
-	oc := make([]float64, m.Np)
-	acc := make([]float64, m.Np)
+	uc, oc, acc, t1, t2 := m.transferScratch()
 	for c := 0; c < nc; c++ {
 		for n := 0; n < m.Np; n++ {
 			acc[n] = 0
 		}
 		for ci := 0; ci < 8; ci++ {
-			px := m.Plo
+			px := m.ploF
 			if ci&1 != 0 {
-				px = m.Phi
+				px = m.phiF
 			}
-			py := m.Plo
+			py := m.ploF
 			if ci&2 != 0 {
-				py = m.Phi
+				py = m.phiF
 			}
-			pz := m.Plo
+			pz := m.ploF
 			if ci&4 != 0 {
-				pz = m.Phi
+				pz = m.phiF
 			}
 			src := childBuf[ci*per:]
 			for n := 0; n < m.Np; n++ {
 				uc[n] = src[n*nc+c]
 			}
-			tensor3Apply(np1, px, py, pz, uc, oc)
+			tensor3ApplyBuf(np1, px, py, pz, uc, oc, t1, t2)
 			for n := 0; n < m.Np; n++ {
 				acc[n] += oc[n]
 			}

@@ -58,6 +58,13 @@ type World struct {
 type Comm struct {
 	world *World
 	rank  int
+
+	// blockSlot is the reusable receive slot of the rank's blocking
+	// receives. A rank has at most one blocking receive outstanding at a
+	// time (Comm is single-goroutine), and a completed slot is off the
+	// posted list by the time recv returns, so reuse keeps the blocking
+	// hot path allocation-free.
+	blockSlot recvSlot
 }
 
 // Rank returns the calling rank's id in [0, Size).
@@ -150,13 +157,32 @@ type message struct {
 	payload any
 }
 
+// recvSlot is one posted receive. A slot is registered with the mailbox at
+// post time, which fixes its place in the matching order: an arriving
+// message is matched against posted slots in posting order before it is
+// queued. Both blocking Recv and nonblocking Irecv go through slots, so
+// the two are correctly ordered against each other on the same
+// (source, tag) channel — the k-th posted matching receive observes the
+// k-th matching send, exactly MPI's non-overtaking rule.
+type recvSlot struct {
+	from, tag int
+	done      bool
+	msg       message
+}
+
 // mailbox is an unbounded, tag-matched receive queue for one rank. Sends
 // never block (MPI buffered-send semantics), which rules out the send-send
 // deadlocks that the paper's algorithms avoid by protocol design.
+//
+// Invariant: no queued message matches any posted slot. put matches a new
+// message against the posted slots before queueing it, and post matches a
+// new slot against the queue before registering it, so a matching pair can
+// never coexist. take/post therefore need no cross-checks.
 type mailbox struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	queue []message
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []message
+	posted []*recvSlot
 }
 
 func newMailbox() *mailbox {
@@ -167,32 +193,74 @@ func newMailbox() *mailbox {
 
 func (m *mailbox) put(msg message) {
 	m.mu.Lock()
+	for i, s := range m.posted {
+		if s.tag == msg.tag && (s.from == AnySource || s.from == msg.from) {
+			// Earliest-posted matching receive wins. Shift the tail down
+			// and zero the vacated slot so the backing array drops its
+			// reference to the completed slot.
+			copy(m.posted[i:], m.posted[i+1:])
+			m.posted[len(m.posted)-1] = nil
+			m.posted = m.posted[:len(m.posted)-1]
+			s.msg = msg
+			s.done = true
+			m.mu.Unlock()
+			m.cond.Broadcast()
+			return
+		}
+	}
 	m.queue = append(m.queue, msg)
 	m.mu.Unlock()
 	m.cond.Broadcast()
 }
 
-// take blocks until a message matching (from, tag) is available and removes
-// it from the queue. from may be AnySource. Matching is FIFO per (from, tag)
-// pair, like MPI's non-overtaking rule for a single "channel".
-func (m *mailbox) take(from, tag int) message {
+// post registers a receive for (from, tag). If a matching message is
+// already queued the slot completes immediately (FIFO per channel);
+// otherwise the slot joins the posted list in posting order. The slot must
+// be zeroed (done=false) by the caller before posting.
+func (m *mailbox) post(from, tag int, s *recvSlot) {
+	s.from, s.tag = from, tag
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for {
-		for i, msg := range m.queue {
-			if msg.tag == tag && (from == AnySource || msg.from == from) {
-				// Shift the tail down and zero the vacated slot so the
-				// backing array drops its reference to the delivered
-				// payload (octant slices must not stay reachable through
-				// drained queues).
-				copy(m.queue[i:], m.queue[i+1:])
-				m.queue[len(m.queue)-1] = message{}
-				m.queue = m.queue[:len(m.queue)-1]
-				return msg
-			}
+	for i, msg := range m.queue {
+		if msg.tag == tag && (from == AnySource || msg.from == from) {
+			// Zero the vacated slot so the backing array drops its
+			// reference to the delivered payload (octant slices must not
+			// stay reachable through drained queues).
+			copy(m.queue[i:], m.queue[i+1:])
+			m.queue[len(m.queue)-1] = message{}
+			m.queue = m.queue[:len(m.queue)-1]
+			s.msg = msg
+			s.done = true
+			return
 		}
+	}
+	m.posted = append(m.posted, s)
+}
+
+// wait blocks until the posted slot completes and returns its message.
+func (m *mailbox) wait(s *recvSlot) message {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for !s.done {
 		m.cond.Wait()
 	}
+	return s.msg
+}
+
+// take blocks until a message matching (from, tag) is available and
+// removes it: a post + wait on a fresh slot, kept as the one-shot
+// convenience form.
+func (m *mailbox) take(from, tag int) message {
+	var s recvSlot
+	m.post(from, tag, &s)
+	return m.wait(&s)
+}
+
+// poll reports whether the posted slot has completed.
+func (m *mailbox) poll(s *recvSlot) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return s.done
 }
 
 // Send delivers payload to rank `to` with the given tag (tag >= 0). It never
@@ -230,10 +298,16 @@ func (c *Comm) Recv(from, tag int) (payload any, source int) {
 // recv performs the tag-matched blocking receive and accounts for it: the
 // time blocked in the mailbox is the rank's receive-wait (the straggler /
 // imbalance signal), recorded both in Stats and — when a tracer is
-// attached — as a wait span attributed to the enclosing phase.
+// attached — as a wait span attributed to the enclosing phase. A blocking
+// receive is a post + wait on the shared slot machinery, so it is ordered
+// correctly against any Irecv posted earlier on the same channel.
 func (c *Comm) recv(from, tag int) (any, int) {
 	t0 := time.Now()
-	msg := c.world.boxes[c.rank].take(from, tag)
+	box := c.world.boxes[c.rank]
+	s := &c.blockSlot
+	*s = recvSlot{}
+	box.post(from, tag, s)
+	msg := box.wait(s)
 	wait := time.Since(t0)
 	st := &c.world.stats[c.rank]
 	bytes := payloadBytes(msg.payload)

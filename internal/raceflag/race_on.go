@@ -1,0 +1,10 @@
+//go:build race
+
+// Package raceflag reports whether the race detector is compiled in.
+// Allocation-regression tests consult it: race instrumentation changes
+// allocation counts, so testing.AllocsPerRun pins only hold in normal
+// builds.
+package raceflag
+
+// Enabled is true when the binary was built with -race.
+const Enabled = true

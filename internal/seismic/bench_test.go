@@ -1,6 +1,7 @@
 package seismic
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/mpi"
@@ -41,6 +42,35 @@ func BenchmarkHostVsDeviceStep(b *testing.B) {
 			b.ReportMetric(d.TransferSec*1e3, "transfer-ms")
 		})
 	})
+}
+
+// BenchmarkSeismicStep measures one RK step of the elastic solver per
+// rank-count and exchange mode, on a uniform periodic brick. "overlap"
+// runs the split-phase ghost exchange with the volume and interior-face
+// kernels between Start and Finish; "blocking" completes the exchange up
+// front (the pre-overlap baseline). Run with -benchmem: steady-state
+// allocs/op is pinned by the tests and must stay at zero for P=1.
+func BenchmarkSeismicStep(b *testing.B) {
+	for _, p := range []int{1, 8} {
+		for _, mode := range []string{"overlap", "blocking"} {
+			b.Run(fmt.Sprintf("P%d/%s", p, mode), func(b *testing.B) {
+				mpi.Run(p, func(c *mpi.Comm) {
+					s := overlapSolver(c, mode == "blocking")
+					dt := s.DT()
+					s.Step(dt) // warm up scratch and integrator registers
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						s.Step(dt)
+					}
+					b.StopTimer()
+					if c.Rank() == 0 {
+						m := s.Mesh
+						b.ReportMetric(float64(len(m.BoundaryElems))/float64(m.NumLocal), "bndfrac")
+					}
+				})
+			})
+		}
+	}
 }
 
 // BenchmarkWavelengthMeshing measures the online adaptive mesh generation

@@ -2,6 +2,7 @@ package seismic
 
 import (
 	"math"
+	"time"
 
 	"repro/internal/connectivity"
 	"repro/internal/core"
@@ -22,6 +23,10 @@ type Options struct {
 	PPW      float64 // points per wavelength (paper: "at least 10")
 	MaxLevel int8
 	MinLevel int8
+	// NoOverlap disables the split-phase ghost exchange (see
+	// advect.Options.NoOverlap); kernel order is identical either way, so
+	// results are bitwise equal. Baseline for the overlap measurements.
+	NoOverlap bool
 }
 
 // DefaultOptions mirrors the paper's setup at laptop scale.
@@ -49,6 +54,18 @@ type Solver struct {
 	rk  mangll.LSRK45
 	buf []float64 // local+ghost work array
 
+	// Hot-path scratch, allocated once per mesh so RHS is allocation-free
+	// in steady state.
+	rSig            [][6]float64 // np
+	rDer, rField    []float64    // np
+	rGrads          [][3]float64 // np*NC
+	rMine, rTheirs  []float64    // nf*NC
+	rXs, rArea      [][3]float64 // nf
+	rFm, rFp        []float64    // NC
+	rGAll           [][]float64  // NC x nf
+	rComp, rFx, rFq []float64    // nf
+	rhsFn           func(tt float64, u, du []float64)
+
 	// Source, if non-nil, adds a body-force density to the velocity
 	// equations: f(t, x).
 	Source func(t float64, p [3]float64) [3]float64
@@ -64,6 +81,8 @@ func NewSolver(comm *mpi.Comm, f *core.Forest, opts Options, matFn func(p [3]flo
 		LGL: mangll.NewLGL(opts.Degree), MatFn: matFn,
 		Met: metrics.NewRegistry(),
 	}
+	// One closure for the integrator, built once so Step allocates nothing.
+	s.rhsFn = func(tt float64, u, du []float64) { s.RHS(tt, u, du) }
 	s.rebuild()
 	s.Q = make([]float64, s.Mesh.NumLocal*s.Mesh.Np*NC)
 	return s
@@ -83,6 +102,24 @@ func (s *Solver) rebuild() {
 	}
 	s.maxVp = mpi.AllreduceMax(s.Comm, vp)
 	s.buf = make([]float64, (m.NumLocal+m.NumGhost)*m.Np*NC)
+	np, nf := m.Np, m.Nf
+	s.rSig = make([][6]float64, np)
+	s.rDer = make([]float64, np)
+	s.rField = make([]float64, np)
+	s.rGrads = make([][3]float64, np*NC)
+	s.rMine = make([]float64, nf*NC)
+	s.rTheirs = make([]float64, nf*NC)
+	s.rXs = make([][3]float64, nf)
+	s.rArea = make([][3]float64, nf)
+	s.rFm = make([]float64, NC)
+	s.rFp = make([]float64, NC)
+	s.rGAll = make([][]float64, NC)
+	for c := range s.rGAll {
+		s.rGAll[c] = make([]float64, nf)
+	}
+	s.rComp = make([]float64, nf)
+	s.rFx = make([]float64, nf)
+	s.rFq = make([]float64, nf)
 }
 
 // DT returns the CFL-limited time step.
@@ -126,130 +163,35 @@ func fluxNormal(mat *Material, q []float64, n [3]float64, out []float64) {
 
 // RHS computes dq/dt: non-conservative volume derivatives plus the
 // dissipative Rusanov interface flux and the free-surface boundary flux.
+//
+// As in dGea, the ghost exchange is hidden behind element-local work: the
+// exchange runs split-phase, with volume kernels and interior face
+// kernels (including the free-surface flux, which needs no remote data)
+// executing while the messages are in flight, and only the partition-
+// boundary face kernels waiting for Finish. NoOverlap runs the same
+// kernels in the same order after a blocking exchange, so both paths are
+// bitwise equal.
 func (s *Solver) RHS(t float64, q, dq []float64) {
 	m := s.Mesh
 	np := m.Np
 	copy(s.buf[:m.NumLocal*np*NC], q)
-	s.Met.StartAdd("exchange", func() {
+
+	if s.Opts.NoOverlap {
+		t0 := time.Now()
 		m.ExchangeGhost(NC, s.buf)
-	})
-
-	// Volume terms.
-	s.Met.StartAdd("volume", func() {
-		sig := make([][6]float64, np)
-		der := make([]float64, np)
-		field := make([]float64, np)
-		// dfdx[b][comp index in a 9-slot layout]
-		grads := make([][3]float64, np*NC)
-		for e := 0; e < m.NumLocal; e++ {
-			base := e * np
-			// stress at nodes
-			for nn := 0; nn < np; nn++ {
-				i := (base + nn) * NC
-				mt := &s.mat[base+nn]
-				sxx, syy, szz, syz, sxz, sxy := stress(mt, q[i+3:i+9])
-				sig[nn] = [6]float64{sxx, syy, szz, syz, sxz, sxy}
-			}
-			// physical gradients of v (3 comps) and sigma (6 comps)
-			for c := 0; c < NC; c++ {
-				for nn := 0; nn < np; nn++ {
-					if c < 3 {
-						field[nn] = q[(base+nn)*NC+c]
-					} else {
-						field[nn] = sig[nn][c-3]
-					}
-				}
-				for nn := 0; nn < np; nn++ {
-					grads[nn*NC+c] = [3]float64{}
-				}
-				for r := 0; r < 3; r++ {
-					m.ApplyD(r, field, der)
-					for nn := 0; nn < np; nn++ {
-						gj := 1 / m.Jac[base+nn]
-						g := &grads[nn*NC+c]
-						g[0] += gj * m.Gi[r][0][base+nn] * der[nn]
-						g[1] += gj * m.Gi[r][1][base+nn] * der[nn]
-						g[2] += gj * m.Gi[r][2][base+nn] * der[nn]
-					}
-				}
-			}
-			for nn := 0; nn < np; nn++ {
-				i := (base + nn) * NC
-				ir := 1 / s.mat[base+nn].Rho
-				// dv_a = (1/rho) d sigma_ab / dx_b; sigma rows are comps 3..8.
-				gs := grads[nn*NC:]
-				dq[i+0] += ir * (gs[3][0] + gs[8][1] + gs[7][2])
-				dq[i+1] += ir * (gs[8][0] + gs[4][1] + gs[6][2])
-				dq[i+2] += ir * (gs[7][0] + gs[6][1] + gs[5][2])
-				// dE = sym grad v.
-				dq[i+3] += gs[0][0]
-				dq[i+4] += gs[1][1]
-				dq[i+5] += gs[2][2]
-				dq[i+6] += (gs[1][2] + gs[2][1]) / 2
-				dq[i+7] += (gs[0][2] + gs[2][0]) / 2
-				dq[i+8] += (gs[0][1] + gs[1][0]) / 2
-			}
-		}
-	})
-
-	// Surface terms.
-	s.Met.StartAdd("surface", func() {
-		nf := m.Nf
-		mine := make([]float64, nf*NC)
-		theirs := make([]float64, nf*NC)
-		xs := make([][3]float64, nf)
-		area := make([][3]float64, nf)
-		g := make([]float64, nf)
-		fm := make([]float64, NC)
-		fp := make([]float64, NC)
-		gAll := make([][]float64, NC)
-		for c := range gAll {
-			gAll[c] = make([]float64, nf)
-		}
-		comp := make([]float64, nf)
-		for li := range m.Links {
-			l := &m.Links[li]
-			if l.Kind == mangll.LinkBoundary {
-				s.boundaryFlux(l, q, gAll, comp, xs, area)
-				for c := 0; c < NC; c++ {
-					s.liftComp(l, c, gAll[c], dq)
-				}
-				continue
-			}
-			for c := 0; c < NC; c++ {
-				m.MyFaceValues(l, NC, c, s.buf, comp)
-				copy(mine[c*nf:(c+1)*nf], comp)
-				m.FaceValues(l, NC, c, s.buf, comp)
-				copy(theirs[c*nf:(c+1)*nf], comp)
-			}
-			s.fluxGeometry(l, xs, area)
-			for fn := 0; fn < nf; fn++ {
-				av := area[fn]
-				sa := math.Sqrt(av[0]*av[0] + av[1]*av[1] + av[2]*av[2])
-				if sa == 0 {
-					continue
-				}
-				n := [3]float64{av[0] / sa, av[1] / sa, av[2] / sa}
-				mt := s.MatFn(xs[fn])
-				var qm, qp [NC]float64
-				for c := 0; c < NC; c++ {
-					qm[c] = mine[c*nf+fn]
-					qp[c] = theirs[c*nf+fn]
-				}
-				fluxNormal(&mt, qm[:], n, fm)
-				fluxNormal(&mt, qp[:], n, fp)
-				alpha := mt.Vp()
-				for c := 0; c < NC; c++ {
-					// G = Fn(q-) - F* with Rusanov F*.
-					gAll[c][fn] = sa * (0.5*(fm[c]-fp[c]) + 0.5*alpha*(qp[c]-qm[c]))
-				}
-			}
-			_ = g
-			for c := 0; c < NC; c++ {
-				s.liftComp(l, c, gAll[c], dq)
-			}
-		}
-	})
+		s.Met.AddDuration("exchange", time.Since(t0))
+		s.volumeTerm(q, dq)
+		s.surfaceTerm(m.IntLinks, q, dq)
+		s.surfaceTerm(m.BndLinks, q, dq)
+	} else {
+		ex := m.StartGhostExchange(NC, s.buf)
+		s.volumeTerm(q, dq)
+		s.surfaceTerm(m.IntLinks, q, dq)
+		t0 := time.Now()
+		ex.Finish()
+		s.Met.AddDuration("exchange", time.Since(t0))
+		s.surfaceTerm(m.BndLinks, q, dq)
+	}
 
 	// Body-force source.
 	if s.Source != nil {
@@ -263,20 +205,136 @@ func (s *Solver) RHS(t float64, q, dq []float64) {
 	}
 }
 
+// volumeTerm accumulates the non-conservative volume derivatives of every
+// local element into dq.
+func (s *Solver) volumeTerm(q, dq []float64) {
+	t0 := time.Now()
+	m := s.Mesh
+	np := m.Np
+	sig, der, field := s.rSig, s.rDer, s.rField
+	// dfdx[b][comp index in a 9-slot layout]
+	grads := s.rGrads
+	for e := 0; e < m.NumLocal; e++ {
+		base := e * np
+		// stress at nodes
+		for nn := 0; nn < np; nn++ {
+			i := (base + nn) * NC
+			mt := &s.mat[base+nn]
+			sxx, syy, szz, syz, sxz, sxy := stress(mt, q[i+3:i+9])
+			sig[nn] = [6]float64{sxx, syy, szz, syz, sxz, sxy}
+		}
+		// physical gradients of v (3 comps) and sigma (6 comps)
+		for c := 0; c < NC; c++ {
+			for nn := 0; nn < np; nn++ {
+				if c < 3 {
+					field[nn] = q[(base+nn)*NC+c]
+				} else {
+					field[nn] = sig[nn][c-3]
+				}
+			}
+			for nn := 0; nn < np; nn++ {
+				grads[nn*NC+c] = [3]float64{}
+			}
+			for r := 0; r < 3; r++ {
+				m.ApplyD(r, field, der)
+				for nn := 0; nn < np; nn++ {
+					gj := 1 / m.Jac[base+nn]
+					g := &grads[nn*NC+c]
+					g[0] += gj * m.Gi[r][0][base+nn] * der[nn]
+					g[1] += gj * m.Gi[r][1][base+nn] * der[nn]
+					g[2] += gj * m.Gi[r][2][base+nn] * der[nn]
+				}
+			}
+		}
+		for nn := 0; nn < np; nn++ {
+			i := (base + nn) * NC
+			ir := 1 / s.mat[base+nn].Rho
+			// dv_a = (1/rho) d sigma_ab / dx_b; sigma rows are comps 3..8.
+			gs := grads[nn*NC:]
+			dq[i+0] += ir * (gs[3][0] + gs[8][1] + gs[7][2])
+			dq[i+1] += ir * (gs[8][0] + gs[4][1] + gs[6][2])
+			dq[i+2] += ir * (gs[7][0] + gs[6][1] + gs[5][2])
+			// dE = sym grad v.
+			dq[i+3] += gs[0][0]
+			dq[i+4] += gs[1][1]
+			dq[i+5] += gs[2][2]
+			dq[i+6] += (gs[1][2] + gs[2][1]) / 2
+			dq[i+7] += (gs[0][2] + gs[2][0]) / 2
+			dq[i+8] += (gs[0][1] + gs[1][0]) / 2
+		}
+	}
+	s.Met.AddDuration("volume", time.Since(t0))
+}
+
+// surfaceTerm accumulates the face fluxes of the given links (indices
+// into Mesh.Links) into dq. Free-surface boundary links are part of the
+// interior set — they read only local data.
+func (s *Solver) surfaceTerm(links []int32, q, dq []float64) {
+	t0 := time.Now()
+	m := s.Mesh
+	nf := m.Nf
+	mine, theirs := s.rMine, s.rTheirs
+	xs, area := s.rXs, s.rArea
+	fm, fp := s.rFm, s.rFp
+	gAll, comp := s.rGAll, s.rComp
+	for _, li := range links {
+		l := &m.Links[li]
+		if l.Kind == mangll.LinkBoundary {
+			s.boundaryFlux(l, q, gAll, comp, xs, area)
+			for c := 0; c < NC; c++ {
+				s.liftComp(l, c, gAll[c], dq)
+			}
+			continue
+		}
+		for c := 0; c < NC; c++ {
+			m.MyFaceValues(l, NC, c, s.buf, comp)
+			copy(mine[c*nf:(c+1)*nf], comp)
+			m.FaceValues(l, NC, c, s.buf, comp)
+			copy(theirs[c*nf:(c+1)*nf], comp)
+		}
+		s.fluxGeometry(l, xs, area)
+		for fn := 0; fn < nf; fn++ {
+			av := area[fn]
+			sa := math.Sqrt(av[0]*av[0] + av[1]*av[1] + av[2]*av[2])
+			if sa == 0 {
+				continue
+			}
+			n := [3]float64{av[0] / sa, av[1] / sa, av[2] / sa}
+			mt := s.MatFn(xs[fn])
+			var qm, qp [NC]float64
+			for c := 0; c < NC; c++ {
+				qm[c] = mine[c*nf+fn]
+				qp[c] = theirs[c*nf+fn]
+			}
+			fluxNormal(&mt, qm[:], n, fm)
+			fluxNormal(&mt, qp[:], n, fp)
+			alpha := mt.Vp()
+			for c := 0; c < NC; c++ {
+				// G = Fn(q-) - F* with Rusanov F*.
+				gAll[c][fn] = sa * (0.5*(fm[c]-fp[c]) + 0.5*alpha*(qp[c]-qm[c]))
+			}
+		}
+		for c := 0; c < NC; c++ {
+			s.liftComp(l, c, gAll[c], dq)
+		}
+	}
+	s.Met.AddDuration("surface", time.Since(t0))
+}
+
 // fluxGeometry evaluates the physical coordinates and outward area vectors
 // at the link's flux points.
 func (s *Solver) fluxGeometry(l *mangll.FaceLink, xs, area [][3]float64) {
 	m := s.Mesh
 	e := int(l.Elem)
 	nf := m.Nf
-	fx := make([]float64, nf)
+	fx := s.rFx
 	for a := 0; a < 3; a++ {
 		for fn := 0; fn < nf; fn++ {
 			vn := int(m.FaceIdx[l.Face][fn])
 			fx[fn] = m.X[a][e*m.Np+vn]
 		}
 		if l.Kind == mangll.LinkToFineQuad {
-			out := make([]float64, nf)
+			out := s.rFq
 			m.InterpFaceToQuad(l, fx, out)
 			for fn := 0; fn < nf; fn++ {
 				xs[fn][a] = out[fn]
@@ -290,7 +348,7 @@ func (s *Solver) fluxGeometry(l *mangll.FaceLink, xs, area [][3]float64) {
 			fx[fn] = m.FaceArea[l.Face][a][e*nf+fn]
 		}
 		if l.Kind == mangll.LinkToFineQuad {
-			out := make([]float64, nf)
+			out := s.rFq
 			m.InterpFaceToQuad(l, fx, out)
 			for fn := 0; fn < nf; fn++ {
 				area[fn][a] = out[fn]
@@ -309,7 +367,7 @@ func (s *Solver) boundaryFlux(l *mangll.FaceLink, q []float64, gAll [][]float64,
 	m := s.Mesh
 	nf := m.Nf
 	s.fluxGeometry(l, xs, area)
-	mine := make([]float64, nf*NC)
+	mine := s.rMine
 	for c := 0; c < NC; c++ {
 		m.MyFaceValues(l, NC, c, s.buf, comp)
 		copy(mine[c*nf:(c+1)*nf], comp)
@@ -354,12 +412,10 @@ func (s *Solver) liftComp(l *mangll.FaceLink, c int, g []float64, dq []float64) 
 
 // Step advances one LSRK4(5) step.
 func (s *Solver) Step(dt float64) {
-	stop := s.Met.Start("waveprop")
-	s.rk.Step(s.Q, s.Time, dt, func(tt float64, u, du []float64) {
-		s.RHS(tt, u, du)
-	})
+	t0 := time.Now()
+	s.rk.Step(s.Q, s.Time, dt, s.rhsFn)
 	s.Time += dt
-	stop()
+	s.Met.AddDuration("waveprop", time.Since(t0))
 }
 
 // Energy returns the global elastic energy 1/2 rho |v|^2 + 1/2 sigma:E.
