@@ -3,9 +3,9 @@
 # so plain `go test` is not enough). CI runs `make verify`.
 
 GO ?= go
-PR ?= 4
+PR ?= 5
 
-.PHONY: verify vet build test test-race bench bench-smoke bench-record fig4
+.PHONY: verify vet build test test-race bench bench-smoke bench-record fig4 chaos
 
 verify: vet build test-race
 
@@ -39,6 +39,19 @@ bench-smoke:
 bench-record:
 	$(GO) test -run '^$$' -bench='Benchmark(Advect|Seismic)Step' -benchtime=10x -benchmem -timeout 10m ./internal/advect/ ./internal/seismic/ \
 		| $(GO) run ./cmd/benchjson > BENCH_$(PR).json
+
+# Chaos suite: the fault-injection and checkpoint/restart tests under the
+# race detector, plus a short end-to-end robust run of cmd/advect — a
+# seeded drop/dup/reorder plan with an injected rank crash, recovered by
+# resuming from the last checkpoint.
+chaos:
+	$(GO) test -race -timeout 5m -run 'Chaos|Crash|Resume|FaultStats|RankPanic|BcastErr|Corruption|PropagatesWrite|FieldCheckpoint' \
+		./internal/mpi/ ./internal/mangll/ ./internal/core/ ./internal/advect/ ./internal/seismic/
+	rm -rf /tmp/p4go-chaos && mkdir -p /tmp/p4go-chaos
+	$(GO) run ./cmd/advect -ranks 3 -steps 10 -adapt-every 2 -level 1 -max-level 2 -degree 2 \
+		-checkpoint /tmp/p4go-chaos/adv -checkpoint-every 2 \
+		-fault-drop 0.2 -fault-dup 0.2 -fault-reorder 0.2 -crash-rank 1 -crash-step 7
+	rm -rf /tmp/p4go-chaos
 
 # Regenerate the Figure 4 weak-scaling table (with the per-phase imbalance
 # and recv-wait columns) into results/.

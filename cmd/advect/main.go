@@ -63,6 +63,13 @@ func main() {
 	opts.Level = int8(*level)
 	opts.MaxLevel = int8(*maxLevel)
 
+	if *checkpointBase != "" {
+		if err := runRobust(parseRanks(*ranks)[0], opts, *steps, *adaptEvery); err != nil {
+			log.Fatalf("robust run: %v", err)
+		}
+		return
+	}
+
 	fmt.Println("Figure 5: weak scaling of dynamically adapted dG advection on the shell")
 	fmt.Printf("%8s %10s %12s %10s %10s %8s %12s %10s\n",
 		"ranks", "elements", "unknowns", "amr(s)", "integ(s)", "amr%", "s/step/elem", "shipped%")

@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"math"
+	"os"
 	"strconv"
 	"strings"
 
@@ -47,6 +48,14 @@ func main() {
 	opts.Degree = *degree
 	opts.FreqHz = *freq
 	opts.MaxLevel = int8(*maxLevel)
+
+	if *checkpointBase != "" {
+		if err := runRobust(parseRanks(*ranks)[0], opts, *steps); err != nil {
+			fmt.Println("robust run:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *strong {
 		fmt.Println("Figure 9: strong scaling of global seismic wave propagation (PREM earth)")

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/mpi"
+	"repro/internal/seismic"
+)
+
+// Robust mode: -checkpoint enables a checkpoint/restart driver for the
+// PREM earth run with optional deterministic fault injection, mirroring
+// cmd/advect's robust mode.
+//
+//	go run ./cmd/seismic -checkpoint /tmp/seis -checkpoint-every 4 \
+//	    -fault-drop 0.2 -crash-rank 1 -crash-step 9
+var (
+	checkpointBase  = flag.String("checkpoint", "", "checkpoint base path; enables the robust checkpoint/restart driver")
+	checkpointEvery = flag.Int("checkpoint-every", 4, "steps between checkpoints in robust mode")
+	resumeFlag      = flag.Bool("resume", false, "resume from -checkpoint if one exists")
+	faultSeed       = flag.Int64("fault-seed", 1, "fault schedule seed")
+	faultDrop       = flag.Float64("fault-drop", 0, "P(a delivery attempt is transiently dropped)")
+	faultDup        = flag.Float64("fault-dup", 0, "P(a message is delivered twice)")
+	faultDelay      = flag.Float64("fault-delay", 0, "P(a message gets extra latency)")
+	faultReorder    = flag.Float64("fault-reorder", 0, "P(a message is held back so later traffic overtakes it)")
+	faultStall      = flag.Float64("fault-stall", 0, "P(a send/recv call stalls its rank)")
+	crashRank       = flag.Int("crash-rank", -1, "rank to crash in robust mode (-1 disables)")
+	crashStep       = flag.Int("crash-step", 0, "step at which -crash-rank crashes")
+)
+
+func faultPlan() *mpi.FaultPlan {
+	if *faultDrop == 0 && *faultDup == 0 && *faultDelay == 0 &&
+		*faultReorder == 0 && *faultStall == 0 && *crashRank < 0 {
+		return nil
+	}
+	return &mpi.FaultPlan{
+		Seed: *faultSeed,
+		Drop: *faultDrop, Dup: *faultDup, Delay: *faultDelay,
+		Reorder: *faultReorder, Stall: *faultStall,
+		MaxDelay: 200 * time.Microsecond, RetryTimeout: 100 * time.Microsecond,
+		CrashRank: *crashRank, CrashStep: *crashStep,
+	}
+}
+
+func premMat(p [3]float64) seismic.Material {
+	r := math.Sqrt(p[0]*p[0]+p[1]*p[1]+p[2]*p[2]) * seismic.EarthRadiusKm
+	return seismic.PREMMaterial(r)
+}
+
+// runRobust executes the earth-run checkpoint/restart driver on p ranks,
+// recovering from an injected crash by resuming from the last checkpoint.
+func runRobust(p int, opts seismic.Options, steps int) error {
+	source := seismic.RickerSource([3]float64{0, 0, 0.9}, [3]float64{0, 0, 1},
+		opts.FreqHz*500, 1, 0.05)
+	attempt := func(plan *mpi.FaultPlan, doResume bool) (uint64, mpi.FaultStats, error) {
+		var h uint64
+		var fs mpi.FaultStats
+		err := mpi.RunErrFault(p, nil, plan, func(c *mpi.Comm) error {
+			var s *seismic.Solver
+			var start int64
+			if doResume && seismic.CheckpointExists(*checkpointBase) {
+				var err error
+				s, start, err = seismic.Resume(c, seismic.EarthConn(), opts, premMat, *checkpointBase)
+				if err != nil {
+					return err
+				}
+				if c.Rank() == 0 {
+					fmt.Printf("resumed from %s at step %d (t=%.6f)\n", *checkpointBase, start, s.Time)
+				}
+			} else {
+				f := seismic.BuildEarthForest(c, opts)
+				s = seismic.NewSolver(c, f, opts, premMat)
+			}
+			s.Source = source
+			if err := s.RunCheckpointed(steps, *checkpointEvery, *checkpointBase, start); err != nil {
+				return err
+			}
+			hh := s.FieldHash()
+			if c.Rank() == 0 {
+				h = hh
+				fs = c.FaultStats()
+			}
+			return nil
+		})
+		return h, fs, err
+	}
+
+	plan := faultPlan()
+	h, fs, err := attempt(plan, *resumeFlag)
+	if mpi.IsInjectedCrash(err) {
+		fmt.Printf("crash detected: %v; restarting from last checkpoint\n", err)
+		plan.CrashRank = -1
+		h, fs, err = attempt(plan, true)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("completed %d steps on %d ranks\n", steps, p)
+	fmt.Printf("final field hash: %#016x\n", h)
+	if plan != nil {
+		fmt.Printf("fault stats: drops=%d retries=%d dups=%d dedups=%d delays=%d reorders=%d stalls=%d\n",
+			fs.Drops, fs.Retries, fs.Dups, fs.Dedups, fs.Delays, fs.Reorders, fs.Stalls)
+	}
+	return nil
+}

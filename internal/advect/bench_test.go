@@ -49,3 +49,28 @@ func BenchmarkAdvectStep(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkAdvectStepFaultPath measures the enabled-fault-path overhead:
+// the same step loop as BenchmarkAdvectStep ("overlap" mode) but with a
+// zero-probability fault plan installed, so every message pays for
+// sequence numbering and receive-side reassembly without any fault firing.
+// Comparing against BenchmarkAdvectStep/P*/overlap gives the cost of
+// turning the machinery on; with no plan the hot path is byte-for-byte
+// the original code (pinned by the Allocs tests).
+func BenchmarkAdvectStepFaultPath(b *testing.B) {
+	for _, p := range []int{1, 8} {
+		b.Run(fmt.Sprintf("P%d/overlap", p), func(b *testing.B) {
+			plan := &mpi.FaultPlan{Seed: 1, CrashRank: -1}
+			mpi.RunFault(p, plan, func(c *mpi.Comm) {
+				s := NewShell(c, benchOpts())
+				dt := s.DT()
+				s.Step(dt)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					s.Step(dt)
+				}
+				b.StopTimer()
+			})
+		})
+	}
+}

@@ -1,0 +1,129 @@
+package advect
+
+import (
+	"os"
+
+	"repro/internal/connectivity"
+	"repro/internal/core"
+	"repro/internal/mangll"
+	"repro/internal/metrics"
+	"repro/internal/mpi"
+)
+
+// Checkpoint/restart: a checkpoint is a forest file (base+".forest", via
+// core.Save) plus a field file (base+".fields", the versioned field
+// format) written at a step boundary after any adaptation. Because every
+// piece of the solver not captured in the files — mesh geometry,
+// contravariant velocities, dt — is a deterministic function of forest
+// and options, and the runtime's collectives reduce in a fixed order, a
+// resumed run replays the remaining steps bitwise-identically to the
+// uninterrupted one.
+
+// checkpointPaths returns the forest and field file names of a base.
+func checkpointPaths(base string) (forest, fields string) {
+	return base + ".forest", base + ".fields"
+}
+
+// CheckpointExists reports whether both files of a checkpoint base are
+// present (the resume driver's "is there anything to resume from" probe).
+func CheckpointExists(base string) bool {
+	fp, dp := checkpointPaths(base)
+	if _, err := os.Stat(fp); err != nil {
+		return false
+	}
+	_, err := os.Stat(dp)
+	return err == nil
+}
+
+// SaveCheckpoint writes the solver state at step to base+".forest" and
+// base+".fields". Collective; the files are written to temporary names
+// and renamed into place, so a crash mid-write never clobbers the
+// previous good checkpoint. All ranks return the same error.
+func (s *Solver) SaveCheckpoint(base string, step int64) error {
+	fp, dp := checkpointPaths(base)
+	if err := s.F.Save(fp + ".tmp"); err != nil {
+		return err
+	}
+	meta := core.FieldMeta{Step: step, Time: s.Time}
+	if err := s.F.SaveFields(dp+".tmp", s.Mesh.Np, meta, s.C); err != nil {
+		return err
+	}
+	var err error
+	if s.Comm.Rank() == 0 {
+		if err = os.Rename(fp+".tmp", fp); err == nil {
+			err = os.Rename(dp+".tmp", dp)
+		}
+	}
+	return mpi.BcastErr(s.Comm, err)
+}
+
+// ResumeShell restores a shell solver from a checkpoint base; see
+// ResumeCustom.
+func ResumeShell(comm *mpi.Comm, opts Options, base string) (*Solver, int64, error) {
+	return ResumeCustom(comm, connectivity.Shell(0.55, 1.0), opts, nil, nil, base)
+}
+
+// ResumeCustom restores a solver from the checkpoint at base onto the
+// given connectivity (which must match the one used at save time) and
+// returns it along with the step the checkpoint was taken at. The
+// options, velocity, and initial-condition fields must equal the original
+// run's; the mesh, metric terms, and velocity samples are rebuilt from
+// the restored forest.
+func ResumeCustom(comm *mpi.Comm, conn *connectivity.Conn, opts Options,
+	vel func(x, y, z float64) (float64, float64, float64),
+	ic func(x, y, z float64) float64, base string) (*Solver, int64, error) {
+	fp, dp := checkpointPaths(base)
+	f, err := core.Load(comm, conn, fp)
+	if err != nil {
+		return nil, 0, err
+	}
+	s := &Solver{
+		Opts: opts, Comm: comm, Conn: conn,
+		LGL:   mangll.NewLGL(opts.Degree),
+		Met:   metrics.NewRegistry(),
+		velFn: vel, icFn: ic,
+		F: f,
+	}
+	s.rhsFn = func(tt float64, u, du []float64) { s.RHS(u, du) }
+	s.rebuild()
+	data, meta, err := f.LoadFields(dp, s.Mesh.Np)
+	if err != nil {
+		return nil, 0, err
+	}
+	s.C = data
+	s.Time = meta.Time
+	return s, meta.Step, nil
+}
+
+// RunCheckpointed advances the solver from step start+1 through nsteps
+// like Run (adapting every adaptEvery steps), additionally writing a
+// checkpoint to base every `every` steps — after the step's adaptation,
+// so the files always capture a consistent (forest, fields, time) triple
+// — and calling Comm.CrashPoint at each step boundary so an injected
+// rank crash fires between steps. A fresh run passes start = 0; a
+// resumed run passes the step returned by ResumeShell/ResumeCustom.
+func (s *Solver) RunCheckpointed(nsteps, adaptEvery, every int, base string, start int64) error {
+	dt := s.DT()
+	for step := start + 1; step <= int64(nsteps); step++ {
+		s.Comm.CrashPoint(int(step))
+		s.Step(dt)
+		if adaptEvery > 0 && step%int64(adaptEvery) == 0 {
+			if s.Adapt() {
+				dt = s.DT()
+			}
+		}
+		if every > 0 && base != "" && step%int64(every) == 0 {
+			if err := s.SaveCheckpoint(base, step); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// FieldHash returns the collective bitwise fingerprint of the solver
+// state (solution values in global curve order plus the simulation time),
+// identical on every rank.
+func (s *Solver) FieldHash() uint64 {
+	return core.HashFields(s.Comm, s.Time, s.C)
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"os"
 
 	"repro/internal/connectivity"
@@ -20,22 +21,49 @@ import (
 
 const checkpointMagic = uint64(0x70346573745f676f) // "p4est_go"
 
+// leafRecBytes is the wire size of one leaf record (5 little-endian
+// int32: tree, x, y, z, level); the header is 3 uint64.
+const (
+	leafRecBytes     = 20
+	checkpointHeader = 24
+)
+
 // Save writes the forest's leaves to path. Collective; rank 0 writes the
-// file. The format is independent of the rank count.
+// file, and its I/O outcome is broadcast so every rank returns the same
+// error. Flush and close failures (e.g. a full disk, which would silently
+// truncate the checkpoint) are propagated, and a partial file is removed
+// rather than left behind looking like a checkpoint.
 func (f *Forest) Save(path string) error {
 	all := f.GatherAll()
-	if f.Comm.Rank() != 0 {
-		return nil
+	var err error
+	if f.Comm.Rank() == 0 {
+		err = saveLeaves(path, f.Conn.NumTrees(), all)
 	}
+	return mpi.BcastErr(f.Comm, err)
+}
+
+func saveLeaves(path string, numTrees int32, all []octant.Octant) error {
 	file, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer file.Close()
 	w := bufio.NewWriter(file)
-	defer w.Flush()
+	err = writeLeaves(w, numTrees, all)
+	if ferr := w.Flush(); err == nil && ferr != nil {
+		err = fmt.Errorf("core: flushing checkpoint %s: %w", path, ferr)
+	}
+	if cerr := file.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("core: closing checkpoint %s: %w", path, cerr)
+	}
+	if err != nil {
+		os.Remove(path) // best effort: don't leave a truncated checkpoint
+		return err
+	}
+	return nil
+}
 
-	head := []uint64{checkpointMagic, uint64(f.Conn.NumTrees()), uint64(len(all))}
+func writeLeaves(w io.Writer, numTrees int32, all []octant.Octant) error {
+	head := []uint64{checkpointMagic, uint64(numTrees), uint64(len(all))}
 	for _, v := range head {
 		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
 			return err
@@ -52,7 +80,11 @@ func (f *Forest) Save(path string) error {
 
 // Load restores a forest saved by Save onto the given communicator (any
 // size) and connectivity (which must match the one used at save time).
-// Collective; every rank reads its own slice of the file.
+// Collective; every rank reads its own slice of the file. The payload is
+// validated against the header before any leaf is trusted: the file size
+// must match the declared record count exactly (no truncation, no
+// trailing garbage), the tree count must be positive and match the
+// connectivity, and every record's level and tree id must be in range.
 func Load(comm *mpi.Comm, conn *connectivity.Conn, path string) (*Forest, error) {
 	file, err := os.Open(path)
 	if err != nil {
@@ -68,18 +100,32 @@ func Load(comm *mpi.Comm, conn *connectivity.Conn, path string) (*Forest, error)
 	if head[0] != checkpointMagic {
 		return nil, fmt.Errorf("core: %s is not a forest checkpoint", path)
 	}
+	if head[1] == 0 || head[1] > math.MaxInt32 {
+		return nil, fmt.Errorf("core: checkpoint tree count %d out of range", head[1])
+	}
 	if int32(head[1]) != conn.NumTrees() {
 		return nil, fmt.Errorf("core: checkpoint has %d trees, connectivity has %d", head[1], conn.NumTrees())
 	}
+	if head[2] == 0 || head[2] > math.MaxInt64/leafRecBytes {
+		return nil, fmt.Errorf("core: checkpoint leaf count %d out of range", head[2])
+	}
 	total := int64(head[2])
+	fi, err := file.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if want := int64(checkpointHeader) + total*leafRecBytes; fi.Size() != want {
+		return nil, fmt.Errorf("core: checkpoint %s is %d bytes, want %d for %d leaves (truncated or trailing garbage)",
+			path, fi.Size(), want, total)
+	}
 
 	p := int64(comm.Size())
 	rank := int64(comm.Rank())
 	lo := rank * total / p
 	hi := (rank + 1) * total / p
 
-	// Skip to this rank's slice (each record is 5 int32 = 20 bytes).
-	if _, err := io.CopyN(io.Discard, r, lo*20); err != nil {
+	// Skip to this rank's slice.
+	if _, err := io.CopyN(io.Discard, r, lo*leafRecBytes); err != nil {
 		return nil, err
 	}
 	f := &Forest{Conn: conn, Comm: comm}
@@ -90,8 +136,11 @@ func Load(comm *mpi.Comm, conn *connectivity.Conn, path string) (*Forest, error)
 		if err := binary.Read(r, binary.LittleEndian, rec[:]); err != nil {
 			return nil, fmt.Errorf("core: reading leaf %d: %w", i, err)
 		}
+		if rec[4] < 0 || rec[4] > octant.MaxLevel {
+			return nil, fmt.Errorf("core: leaf %d has level %d out of range [0, %d]", i, rec[4], octant.MaxLevel)
+		}
 		o := octant.Octant{Tree: rec[0], X: rec[1], Y: rec[2], Z: rec[3], Level: int8(rec[4])}
-		if !o.Valid() || o.Tree >= conn.NumTrees() {
+		if !o.Valid() || o.Tree < 0 || o.Tree >= conn.NumTrees() {
 			return nil, fmt.Errorf("core: corrupt leaf %d: %v", i, o)
 		}
 		if i > lo && octant.Compare(prev, o) >= 0 {

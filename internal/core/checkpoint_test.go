@@ -1,6 +1,8 @@
 package core
 
 import (
+	"encoding/binary"
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -87,3 +89,120 @@ func TestCheckpointRejectsGarbage(t *testing.T) {
 		}
 	})
 }
+
+// TestCheckpointRejectsCorruption is the payload-validation table: every
+// flavor of truncation, trailing garbage, header lie, and bad record must
+// be rejected by Load before any leaf is trusted.
+func TestCheckpointRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	conn := connectivity.SixRotCubes()
+	good := filepath.Join(dir, "good.p4go")
+	mpi.Run(1, func(c *mpi.Comm) {
+		f := New(c, conn, 1)
+		f.Refine(true, 2, fractalRefine(2))
+		f.Balance(BalanceFull)
+		f.Partition()
+		if err := f.Save(good); err != nil {
+			t.Fatalf("save: %v", err)
+		}
+	})
+	orig, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	putU64 := func(b []byte, off int, v uint64) {
+		binary.LittleEndian.PutUint64(b[off:], v)
+	}
+	putI32 := func(b []byte, off int, v int32) {
+		binary.LittleEndian.PutUint32(b[off:], uint32(v))
+	}
+	cases := []struct {
+		name    string
+		corrupt func(b []byte) []byte
+	}{
+		{"truncated mid-header", func(b []byte) []byte { return b[:12] }},
+		{"truncated mid-record", func(b []byte) []byte { return b[:len(b)-7] }},
+		{"missing last record", func(b []byte) []byte { return b[:len(b)-leafRecBytes] }},
+		{"trailing garbage", func(b []byte) []byte { return append(b, 1, 2, 3, 4) }},
+		{"zero tree count", func(b []byte) []byte { putU64(b, 8, 0); return b }},
+		{"huge tree count", func(b []byte) []byte { putU64(b, 8, 1<<40); return b }},
+		{"zero leaf count", func(b []byte) []byte { putU64(b, 16, 0); return b }},
+		{"overflowing leaf count", func(b []byte) []byte { putU64(b, 16, 1<<62); return b }},
+		{"leaf count off by one", func(b []byte) []byte { putU64(b, 16, binary.LittleEndian.Uint64(b[16:])+1); return b }},
+		{"level out of range", func(b []byte) []byte { putI32(b, checkpointHeader+16, 99); return b }},
+		{"negative level", func(b []byte) []byte { putI32(b, checkpointHeader+16, -1); return b }},
+		{"negative tree id", func(b []byte) []byte { putI32(b, checkpointHeader, -3); return b }},
+		{"tree id past connectivity", func(b []byte) []byte { putI32(b, checkpointHeader, 1 << 20); return b }},
+		{"leaves out of order", func(b []byte) []byte {
+			a := checkpointHeader
+			z := len(b) - leafRecBytes
+			tmp := make([]byte, leafRecBytes)
+			copy(tmp, b[a:a+leafRecBytes])
+			copy(b[a:], b[z:z+leafRecBytes])
+			copy(b[z:], tmp)
+			return b
+		}},
+	}
+	for _, tc := range cases {
+		bad := filepath.Join(dir, "bad.p4go")
+		if err := os.WriteFile(bad, tc.corrupt(append([]byte(nil), orig...)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		mpi.Run(1, func(c *mpi.Comm) {
+			if _, err := Load(c, conn, bad); err == nil {
+				t.Errorf("%s: accepted", tc.name)
+			}
+		})
+	}
+
+	// The pristine bytes must still load (the table isn't vacuous).
+	mpi.Run(1, func(c *mpi.Comm) {
+		if _, err := Load(c, conn, good); err != nil {
+			t.Errorf("pristine checkpoint rejected: %v", err)
+		}
+	})
+}
+
+// TestSavePropagatesWriteErrors pins the satellite bugfix: a Save whose
+// flush fails (full disk) must return the error on every rank instead of
+// silently leaving a truncated checkpoint, and a failing io.Writer must
+// surface from the record writer.
+func TestSavePropagatesWriteErrors(t *testing.T) {
+	conn := connectivity.UnitCube()
+
+	// Unwritable path: os.Create fails.
+	mpi.Run(2, func(c *mpi.Comm) {
+		f := New(c, conn, 1)
+		if err := f.Save(filepath.Join(t.TempDir(), "no", "such", "dir", "x")); err == nil {
+			t.Errorf("rank %d: save into missing directory succeeded", c.Rank())
+		}
+	})
+
+	// Full disk: the checkpoint fits in bufio's buffer, so the ENOSPC only
+	// surfaces at Flush — exactly the path the old code ignored. A symlink
+	// keeps the cleanup os.Remove away from the device node itself.
+	if _, err := os.Stat("/dev/full"); err != nil {
+		t.Skip("no /dev/full on this system")
+	}
+	full := filepath.Join(t.TempDir(), "full")
+	if err := os.Symlink("/dev/full", full); err != nil {
+		t.Fatal(err)
+	}
+	mpi.Run(2, func(c *mpi.Comm) {
+		f := New(c, conn, 1)
+		err := f.Save(full)
+		if err == nil {
+			t.Errorf("rank %d: save to full disk succeeded", c.Rank())
+		}
+	})
+
+	// Direct write failure from the record writer.
+	if err := writeLeaves(failingWriter{}, 1, nil); err == nil {
+		t.Error("writeLeaves swallowed the writer's error")
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write(p []byte) (int, error) { return 0, errors.New("sink closed") }

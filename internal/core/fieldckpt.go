@@ -1,0 +1,185 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/mpi"
+)
+
+// Field checkpointing complements Save/Load: the forest checkpoint
+// restores the mesh, the field checkpoint restores the solver state
+// living on it. The format is versioned and rank-count independent —
+// values are stored in global curve order, so a restart may use any
+// number of ranks; each rank reads exactly its own partition's slice.
+//
+// Layout (little-endian):
+//
+//	uint64 magic   "p4go_fld"
+//	uint64 version (currently 1)
+//	uint64 valsPerElem
+//	uint64 totalElems
+//	uint64 step    (solver step counter at save time)
+//	float64 time   (solver simulation time at save time)
+//	float64 x totalElems*valsPerElem   field values, global curve order
+
+const (
+	fieldMagic   = uint64(0x7034676f5f666c64) // "p4go_fld"
+	fieldVersion = uint64(1)
+	fieldHeader  = 48
+)
+
+// FieldMeta is the solver state carried alongside the field values.
+type FieldMeta struct {
+	Step int64
+	Time float64
+}
+
+// SaveFields writes the field data attached to the forest's local leaves
+// (valsPerElem float64 values per leaf, curve order) to path. Collective;
+// the data is gathered through rank 0 in rank order — which is global
+// curve order — and rank 0's I/O outcome is broadcast so every rank
+// returns the same error.
+func (f *Forest) SaveFields(path string, valsPerElem int, meta FieldMeta, data []float64) error {
+	if len(data) != f.NumLocal()*valsPerElem {
+		return fmt.Errorf("core: SaveFields: %d values for %d leaves x %d per leaf",
+			len(data), f.NumLocal(), valsPerElem)
+	}
+	// Gather transfers payload ownership; hand it a copy so the caller's
+	// live field array is never shared with another rank.
+	parts := mpi.Gather(f.Comm, 0, append([]float64(nil), data...))
+	var err error
+	if f.Comm.Rank() == 0 {
+		err = saveFieldParts(path, valsPerElem, f.NumGlobal(), meta, parts)
+	}
+	return mpi.BcastErr(f.Comm, err)
+}
+
+func saveFieldParts(path string, valsPerElem int, totalElems int64, meta FieldMeta, parts [][]float64) error {
+	file, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(file)
+	err = writeFieldParts(w, valsPerElem, totalElems, meta, parts)
+	if ferr := w.Flush(); err == nil && ferr != nil {
+		err = fmt.Errorf("core: flushing field checkpoint %s: %w", path, ferr)
+	}
+	if cerr := file.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("core: closing field checkpoint %s: %w", path, cerr)
+	}
+	if err != nil {
+		os.Remove(path)
+		return err
+	}
+	return nil
+}
+
+func writeFieldParts(w *bufio.Writer, valsPerElem int, totalElems int64, meta FieldMeta, parts [][]float64) error {
+	head := []uint64{fieldMagic, fieldVersion, uint64(valsPerElem), uint64(totalElems), uint64(meta.Step)}
+	for _, v := range head {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(w, binary.LittleEndian, meta.Time); err != nil {
+		return err
+	}
+	for _, part := range parts {
+		if err := binary.Write(w, binary.LittleEndian, part); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadFields restores field data saved by SaveFields onto the forest's
+// current partition (any rank count): each rank reads the contiguous
+// slice matching its local leaves. The header is validated against the
+// forest and the file size against the declared totals before any value
+// is trusted.
+func (f *Forest) LoadFields(path string, valsPerElem int) ([]float64, FieldMeta, error) {
+	var meta FieldMeta
+	file, err := os.Open(path)
+	if err != nil {
+		return nil, meta, err
+	}
+	defer file.Close()
+
+	var head [5]uint64
+	if err := binary.Read(file, binary.LittleEndian, head[:]); err != nil {
+		return nil, meta, fmt.Errorf("core: reading field checkpoint header: %w", err)
+	}
+	if head[0] != fieldMagic {
+		return nil, meta, fmt.Errorf("core: %s is not a field checkpoint", path)
+	}
+	if head[1] != fieldVersion {
+		return nil, meta, fmt.Errorf("core: field checkpoint %s has version %d, want %d", path, head[1], fieldVersion)
+	}
+	if head[2] != uint64(valsPerElem) {
+		return nil, meta, fmt.Errorf("core: field checkpoint has %d values per element, want %d", head[2], valsPerElem)
+	}
+	if head[3] > math.MaxInt64 || int64(head[3]) != f.NumGlobal() {
+		return nil, meta, fmt.Errorf("core: field checkpoint has %d elements, forest has %d", head[3], f.NumGlobal())
+	}
+	meta.Step = int64(head[4])
+	if err := binary.Read(file, binary.LittleEndian, &meta.Time); err != nil {
+		return nil, meta, fmt.Errorf("core: reading field checkpoint time: %w", err)
+	}
+	fi, err := file.Stat()
+	if err != nil {
+		return nil, meta, err
+	}
+	total := int64(head[3])
+	if want := int64(fieldHeader) + total*int64(valsPerElem)*8; fi.Size() != want {
+		return nil, meta, fmt.Errorf("core: field checkpoint %s is %d bytes, want %d (truncated or trailing garbage)",
+			path, fi.Size(), want)
+	}
+
+	off := int64(fieldHeader) + f.GlobalFirst()*int64(valsPerElem)*8
+	if _, err := file.Seek(off, 0); err != nil {
+		return nil, meta, err
+	}
+	data := make([]float64, f.NumLocal()*valsPerElem)
+	if err := binary.Read(bufio.NewReader(file), binary.LittleEndian, data); err != nil {
+		return nil, meta, fmt.Errorf("core: reading field values: %w", err)
+	}
+	return data, meta, nil
+}
+
+// HashFields folds the global field state (gathered in rank order, which
+// is curve order) and the simulation time into one FNV-1a hash, identical
+// on every rank. Two runs whose hashes match hold bitwise-identical
+// distributed solver state — the check the chaos and restart tests rely
+// on. Collective.
+func HashFields(c *mpi.Comm, simTime float64, data []float64) uint64 {
+	parts := mpi.Gather(c, 0, append([]float64(nil), data...))
+	var h uint64
+	if c.Rank() == 0 {
+		h = fnvOffset
+		h = fnvMix(h, math.Float64bits(simTime))
+		for _, part := range parts {
+			for _, v := range part {
+				h = fnvMix(h, math.Float64bits(v))
+			}
+		}
+	}
+	return mpi.Bcast(c, 0, h)
+}
+
+const (
+	fnvOffset = uint64(14695981039346656037)
+	fnvPrime  = uint64(1099511628211)
+)
+
+func fnvMix(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime
+		v >>= 8
+	}
+	return h
+}

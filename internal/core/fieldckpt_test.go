@@ -1,0 +1,182 @@
+package core
+
+import (
+	"encoding/binary"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/connectivity"
+	"repro/internal/mpi"
+)
+
+// fieldVal is the synthetic per-value content: a function of the global
+// element index and the slot within the element, so any mis-slicing on
+// reload shows immediately.
+func fieldVal(globalElem int64, slot int) float64 {
+	return float64(globalElem)*100 + float64(slot) + 0.125
+}
+
+func buildFieldForest(c *mpi.Comm, conn *connectivity.Conn) *Forest {
+	f := New(c, conn, 1)
+	f.Refine(true, 2, fractalRefine(2))
+	f.Balance(BalanceFull)
+	f.Partition()
+	return f
+}
+
+func localField(f *Forest, vpe int) []float64 {
+	data := make([]float64, f.NumLocal()*vpe)
+	for e := 0; e < f.NumLocal(); e++ {
+		for s := 0; s < vpe; s++ {
+			data[e*vpe+s] = fieldVal(f.GlobalFirst()+int64(e), s)
+		}
+	}
+	return data
+}
+
+// TestFieldCheckpointRoundTripAcrossRankCounts saves fields on 3 ranks
+// and reloads them on 1 and 5: each rank must receive exactly its
+// partition's slice, with step/time metadata and the collective hash
+// preserved bitwise.
+func TestFieldCheckpointRoundTripAcrossRankCounts(t *testing.T) {
+	const vpe = 3
+	dir := t.TempDir()
+	fp := filepath.Join(dir, "f.forest")
+	dp := filepath.Join(dir, "f.fields")
+	conn := connectivity.SixRotCubes()
+	meta := FieldMeta{Step: 42, Time: 1.5625}
+
+	var savedHash uint64
+	mpi.Run(3, func(c *mpi.Comm) {
+		f := buildFieldForest(c, conn)
+		data := localField(f, vpe)
+		if err := f.Save(fp); err != nil {
+			t.Errorf("save forest: %v", err)
+		}
+		if err := f.SaveFields(dp, vpe, meta, data); err != nil {
+			t.Errorf("save fields: %v", err)
+		}
+		if h := HashFields(c, meta.Time, data); c.Rank() == 0 {
+			savedHash = h
+		}
+	})
+
+	for _, p := range []int{1, 5} {
+		mpi.Run(p, func(c *mpi.Comm) {
+			f, err := Load(c, conn, fp)
+			if err != nil {
+				t.Errorf("p=%d: load forest: %v", p, err)
+				return
+			}
+			data, m, err := f.LoadFields(dp, vpe)
+			if err != nil {
+				t.Errorf("p=%d: load fields: %v", p, err)
+				return
+			}
+			if m != meta {
+				t.Errorf("p=%d: metadata changed: %+v want %+v", p, m, meta)
+			}
+			for e := 0; e < f.NumLocal(); e++ {
+				for s := 0; s < vpe; s++ {
+					if want := fieldVal(f.GlobalFirst()+int64(e), s); data[e*vpe+s] != want {
+						t.Fatalf("p=%d rank %d: value (%d,%d) = %v, want %v",
+							p, c.Rank(), e, s, data[e*vpe+s], want)
+					}
+				}
+			}
+			if h := HashFields(c, m.Time, data); h != savedHash {
+				t.Errorf("p=%d: field hash changed across checkpoint", p)
+			}
+		})
+	}
+}
+
+// TestFieldCheckpointRejectsCorruption is the corruption table for the
+// field format: header lies, version skew, truncation, and trailing
+// garbage must all be rejected.
+func TestFieldCheckpointRejectsCorruption(t *testing.T) {
+	const vpe = 2
+	dir := t.TempDir()
+	dp := filepath.Join(dir, "f.fields")
+	conn := connectivity.UnitCube()
+	mpi.Run(1, func(c *mpi.Comm) {
+		f := buildFieldForest(c, conn)
+		if err := f.SaveFields(dp, vpe, FieldMeta{Step: 1, Time: 0.5}, localField(f, vpe)); err != nil {
+			t.Fatalf("save: %v", err)
+		}
+	})
+	orig, err := os.ReadFile(dp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	putU64 := func(b []byte, off int, v uint64) {
+		binary.LittleEndian.PutUint64(b[off:], v)
+	}
+	cases := []struct {
+		name    string
+		corrupt func(b []byte) []byte
+	}{
+		{"wrong magic", func(b []byte) []byte { putU64(b, 0, 123); return b }},
+		{"future version", func(b []byte) []byte { putU64(b, 8, fieldVersion+1); return b }},
+		{"wrong vals per elem", func(b []byte) []byte { putU64(b, 16, vpe+1); return b }},
+		{"wrong element count", func(b []byte) []byte { putU64(b, 24, binary.LittleEndian.Uint64(b[24:])+1); return b }},
+		{"huge element count", func(b []byte) []byte { putU64(b, 24, math.MaxUint64); return b }},
+		{"truncated mid-header", func(b []byte) []byte { return b[:20] }},
+		{"truncated mid-value", func(b []byte) []byte { return b[:len(b)-3] }},
+		{"missing last value", func(b []byte) []byte { return b[:len(b)-8] }},
+		{"trailing garbage", func(b []byte) []byte { return append(b, 0xde, 0xad) }},
+	}
+	for _, tc := range cases {
+		bad := filepath.Join(dir, "bad.fields")
+		if err := os.WriteFile(bad, tc.corrupt(append([]byte(nil), orig...)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		mpi.Run(1, func(c *mpi.Comm) {
+			f := buildFieldForest(c, conn)
+			if _, _, err := f.LoadFields(bad, vpe); err == nil {
+				t.Errorf("%s: accepted", tc.name)
+			}
+		})
+	}
+
+	// Pristine bytes still load.
+	mpi.Run(1, func(c *mpi.Comm) {
+		f := buildFieldForest(c, conn)
+		if _, _, err := f.LoadFields(dp, vpe); err != nil {
+			t.Errorf("pristine field checkpoint rejected: %v", err)
+		}
+	})
+}
+
+// TestSaveFieldsPropagatesWriteErrors mirrors the forest-save error test:
+// length mismatches, unwritable paths, and full-disk flushes must all
+// surface on every rank.
+func TestSaveFieldsPropagatesWriteErrors(t *testing.T) {
+	conn := connectivity.UnitCube()
+	mpi.Run(2, func(c *mpi.Comm) {
+		f := buildFieldForest(c, conn)
+		if err := f.SaveFields(filepath.Join(t.TempDir(), "x"), 2, FieldMeta{}, nil); err == nil {
+			t.Errorf("rank %d: wrong-length data accepted", c.Rank())
+		}
+		if err := f.SaveFields(filepath.Join(t.TempDir(), "no", "dir", "x"), 2, FieldMeta{}, localField(f, 2)); err == nil {
+			t.Errorf("rank %d: save into missing directory succeeded", c.Rank())
+		}
+	})
+
+	if _, err := os.Stat("/dev/full"); err != nil {
+		t.Skip("no /dev/full on this system")
+	}
+	full := filepath.Join(t.TempDir(), "full")
+	if err := os.Symlink("/dev/full", full); err != nil {
+		t.Fatal(err)
+	}
+	mpi.Run(2, func(c *mpi.Comm) {
+		f := buildFieldForest(c, conn)
+		if err := f.SaveFields(full, 2, FieldMeta{}, localField(f, 2)); err == nil {
+			t.Errorf("rank %d: save to full disk succeeded", c.Rank())
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"math"
 	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/connectivity"
 	"repro/internal/mpi"
@@ -214,4 +215,60 @@ func TestGhostExchangeAllocsParallel(t *testing.T) {
 			}
 		}
 	})
+}
+
+// chaosGhostRun builds the mesh, then performs three rounds of split-phase
+// ghost exchange with the received ghost values folded back into the local
+// field between rounds, so any mis-sequenced delivery compounds into a
+// bitwise difference. Returns the final field.
+func chaosGhostRun(c *mpi.Comm, conn *connectivity.Conn) []float64 {
+	_, m := buildMesh(c, conn, 1, 3, 2)
+	n := (m.NumLocal + m.NumGhost) * m.Np
+	f := make([]float64, n)
+	for i := 0; i < m.NumLocal*m.Np; i++ {
+		f[i] = math.Sin(float64(i)*0.7) + float64(c.Rank())*1.3
+	}
+	for round := 0; round < 3; round++ {
+		ex := m.StartGhostExchange(1, f)
+		var burn float64 // interleaved local compute while messages fly
+		for i := 0; i < m.NumLocal*m.Np; i++ {
+			burn += f[i] * f[i]
+		}
+		ex.Finish()
+		_ = burn
+		for i := 0; i < m.NumLocal*m.Np; i++ {
+			f[i] += 0.5 * f[m.NumLocal*m.Np+(i%max(1, m.NumGhost*m.Np))]
+		}
+	}
+	return f
+}
+
+// TestGhostExchangeChaosBitwise runs the split-phase exchange under a
+// seeded drop/duplicate/delay/reorder fault plan and checks the ghost
+// layers stay bitwise-identical to the fault-free run at several world
+// sizes.
+func TestGhostExchangeChaosBitwise(t *testing.T) {
+	conn := connectivity.Brick(2, 2, 1, false, false, false)
+	plan := &mpi.FaultPlan{
+		Seed: 11, Drop: 0.25, Dup: 0.25, Delay: 0.25, Reorder: 0.25,
+		MaxDelay: 200 * time.Microsecond, RetryTimeout: 100 * time.Microsecond,
+		CrashRank: -1,
+	}
+	for _, p := range []int{2, 5, 8} {
+		base := make([][]float64, p)
+		mpi.Run(p, func(c *mpi.Comm) { base[c.Rank()] = chaosGhostRun(c, conn) })
+		got := make([][]float64, p)
+		mpi.RunFault(p, plan, func(c *mpi.Comm) { got[c.Rank()] = chaosGhostRun(c, conn) })
+		for r := 0; r < p; r++ {
+			if len(base[r]) != len(got[r]) {
+				t.Fatalf("P=%d rank %d: field length changed under faults", p, r)
+			}
+			for i := range base[r] {
+				if base[r][i] != got[r][i] {
+					t.Fatalf("P=%d rank %d: ghost field diverges under faults at %d: %v vs %v",
+						p, r, i, got[r][i], base[r][i])
+				}
+			}
+		}
+	}
 }

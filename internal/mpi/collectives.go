@@ -1,6 +1,7 @@
 package mpi
 
 import (
+	"errors"
 	"sort"
 
 	"repro/internal/trace"
@@ -356,6 +357,26 @@ func ExScan[T any](c *Comm, v T, op func(a, b T) T) T {
 		return zero
 	}
 	return left
+}
+
+// BcastErr makes rank 0's error outcome collective: every rank returns
+// nil when rank 0 succeeded, and a non-nil error otherwise (rank 0 gets
+// its original error; the others get one carrying the same text). Used by
+// rank-0-writes-the-file operations like checkpointing so the ranks can
+// never disagree about whether the operation succeeded.
+func BcastErr(c *Comm, err error) error {
+	var s string
+	if c.Rank() == 0 && err != nil {
+		s = err.Error()
+	}
+	s = Bcast(c, 0, s)
+	if s == "" {
+		return nil
+	}
+	if c.Rank() == 0 {
+		return err
+	}
+	return errors.New(s)
 }
 
 // Alltoall exchanges one value with every rank: out[i] goes to rank i, and

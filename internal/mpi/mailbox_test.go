@@ -7,7 +7,7 @@ import "testing"
 // vacated tail slot, or delivered octant slices stay reachable (and thus
 // unreclaimable) long after delivery.
 func TestTakeClearsDrainedSlots(t *testing.T) {
-	m := newMailbox()
+	m := newMailbox(&World{size: 1})
 	const n = 8
 	for i := 0; i < n; i++ {
 		m.put(message{from: i, tag: 1, payload: []int64{int64(i)}})
@@ -32,7 +32,7 @@ func TestTakeClearsDrainedSlots(t *testing.T) {
 // the queue and checks the slot vacated at the tail is zeroed while the
 // remaining messages survive in order.
 func TestTakeClearsSlotOnMiddleRemoval(t *testing.T) {
-	m := newMailbox()
+	m := newMailbox(&World{size: 1})
 	for i := 0; i < 3; i++ {
 		m.put(message{from: 0, tag: i, payload: []int64{int64(i)}})
 	}

@@ -15,6 +15,7 @@ package mpi
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/trace"
@@ -51,6 +52,25 @@ type World struct {
 	boxes  []*mailbox
 	stats  []Stats
 	tracer *trace.Tracer // optional; nil disables span recording
+	faults *faultState   // optional; nil runs the zero-overhead path
+
+	// aborted flips when a rank dies (panic or injected crash). Blocked
+	// receivers observe it and unwind instead of deadlocking on messages
+	// that will never arrive.
+	aborted atomic.Bool
+}
+
+// abort marks the world dead and wakes every blocked receiver. Idempotent
+// and safe from any goroutine.
+func (w *World) abort() {
+	if !w.aborted.CompareAndSwap(false, true) {
+		return
+	}
+	for _, b := range w.boxes {
+		b.mu.Lock()
+		b.cond.Broadcast()
+		b.mu.Unlock()
+	}
 }
 
 // Comm is one rank's handle to the world. It is not safe for concurrent use
@@ -109,6 +129,17 @@ func RunErr(size int, fn func(*Comm) error) error {
 
 // RunErrTraced is RunErr with an optional tracer attached to the world.
 func RunErrTraced(size int, tr *trace.Tracer, fn func(*Comm) error) error {
+	return runErr(size, tr, nil, fn)
+}
+
+// runErr is the shared Run machinery. A rank that panics aborts the
+// world: peers blocked in receives are woken (they unwind with an
+// abortSignal panic, which is discarded — only the root cause matters)
+// and the primary panic propagates to the caller, so a dying rank
+// surfaces instead of deadlocking the run. An injected crash (crashPanic)
+// is converted to the rank's error and returned, which is what a
+// checkpoint/restart driver recovers from.
+func runErr(size int, tr *trace.Tracer, plan *FaultPlan, fn func(*Comm) error) error {
 	if size < 1 {
 		return fmt.Errorf("mpi: world size %d < 1", size)
 	}
@@ -116,10 +147,13 @@ func RunErrTraced(size int, tr *trace.Tracer, fn func(*Comm) error) error {
 		return fmt.Errorf("mpi: tracer has %d ranks, world has %d", tr.NumRanks(), size)
 	}
 	w := &World{size: size, tracer: tr}
+	if plan != nil {
+		w.faults = newFaultState(plan, size)
+	}
 	w.boxes = make([]*mailbox, size)
 	w.stats = make([]Stats, size)
 	for i := range w.boxes {
-		w.boxes[i] = newMailbox()
+		w.boxes[i] = newMailbox(w)
 	}
 	errs := make([]error, size)
 	panics := make([]any, size)
@@ -129,14 +163,31 @@ func RunErrTraced(size int, tr *trace.Tracer, fn func(*Comm) error) error {
 		go func(rank int) {
 			defer wg.Done()
 			defer func() {
-				if p := recover(); p != nil {
+				p := recover()
+				if p == nil {
+					return
+				}
+				switch v := p.(type) {
+				case crashPanic:
+					errs[rank] = v.err
+				case abortSignal:
+					// Secondary casualty: this rank was unblocked by a
+					// peer's abort, not the root cause.
+				default:
 					panics[rank] = p
 				}
+				w.abort()
 			}()
 			errs[rank] = fn(&Comm{world: w, rank: rank})
 		}(r)
 	}
 	wg.Wait()
+	if w.faults != nil {
+		// Join the delayed-delivery timers so no goroutine outlives the
+		// world, then publish the fault counters.
+		w.faults.deliveries.Wait()
+		w.faults.flushMetrics()
+	}
 	for _, p := range panics {
 		if p != nil {
 			panic(p)
@@ -183,16 +234,35 @@ type mailbox struct {
 	cond   *sync.Cond
 	queue  []message
 	posted []*recvSlot
+	w      *World
+
+	// reorder is the per-source reassembly window of the fault layer
+	// (nil without a plan): it restores per-link send order and
+	// exactly-once delivery before a message reaches the matching engine,
+	// so injected drops, duplicates, and reorderings are invisible to the
+	// FIFO and non-overtaking guarantees above.
+	reorder []linkRecv
 }
 
-func newMailbox() *mailbox {
-	m := &mailbox{}
+// linkRecv tracks one incoming link's reassembly: the next expected
+// sequence number and any out-of-order arrivals held back until the gap
+// fills.
+type linkRecv struct {
+	next uint64
+	held map[uint64]message
+}
+
+func newMailbox(w *World) *mailbox {
+	m := &mailbox{w: w}
 	m.cond = sync.NewCond(&m.mu)
+	if w.faults != nil {
+		m.reorder = make([]linkRecv, w.size)
+	}
 	return m
 }
 
-func (m *mailbox) put(msg message) {
-	m.mu.Lock()
+// deliverLocked feeds one message into the matching engine (mu held).
+func (m *mailbox) deliverLocked(msg message) {
 	for i, s := range m.posted {
 		if s.tag == msg.tag && (s.from == AnySource || s.from == msg.from) {
 			// Earliest-posted matching receive wins. Shift the tail down
@@ -203,12 +273,57 @@ func (m *mailbox) put(msg message) {
 			m.posted = m.posted[:len(m.posted)-1]
 			s.msg = msg
 			s.done = true
-			m.mu.Unlock()
-			m.cond.Broadcast()
 			return
 		}
 	}
 	m.queue = append(m.queue, msg)
+}
+
+func (m *mailbox) put(msg message) {
+	m.mu.Lock()
+	m.deliverLocked(msg)
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// putSeq is the fault-layer delivery entry point: seq orders the message
+// on its (source -> this rank) link. Duplicates are discarded, gaps hold
+// later messages back, and in-order messages drain the held backlog, so
+// the matching engine observes exactly the fault-free delivery sequence.
+// Runs on sender goroutines and delivery timers, never the receiving
+// rank.
+func (m *mailbox) putSeq(msg message, seq uint64, f *faultState) {
+	m.mu.Lock()
+	lr := &m.reorder[msg.from]
+	switch {
+	case seq < lr.next:
+		m.mu.Unlock()
+		f.dedups.Add(1)
+		return
+	case seq > lr.next:
+		if lr.held == nil {
+			lr.held = make(map[uint64]message)
+		}
+		if _, dup := lr.held[seq]; dup {
+			m.mu.Unlock()
+			f.dedups.Add(1)
+			return
+		}
+		lr.held[seq] = msg
+		m.mu.Unlock()
+		return
+	}
+	m.deliverLocked(msg)
+	lr.next++
+	for {
+		nm, ok := lr.held[lr.next]
+		if !ok {
+			break
+		}
+		delete(lr.held, lr.next)
+		m.deliverLocked(nm)
+		lr.next++
+	}
 	m.mu.Unlock()
 	m.cond.Broadcast()
 }
@@ -238,10 +353,16 @@ func (m *mailbox) post(from, tag int, s *recvSlot) {
 }
 
 // wait blocks until the posted slot completes and returns its message.
+// If the world aborts (a peer died), wait unwinds with an abortSignal
+// panic instead of blocking forever on a message that will never arrive;
+// the Run wrapper discards it.
 func (m *mailbox) wait(s *recvSlot) message {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for !s.done {
+		if m.w.aborted.Load() {
+			panic(abortSignal{})
+		}
 		m.cond.Wait()
 	}
 	return s.msg
@@ -283,7 +404,12 @@ func (c *Comm) send(to, tag int, payload any) {
 	ts := st.tag(tag)
 	ts.MsgsSent++
 	ts.BytesSent += bytes
-	c.world.boxes[to].put(message{from: c.rank, tag: tag, payload: payload})
+	msg := message{from: c.rank, tag: tag, payload: payload}
+	if f := c.world.faults; f != nil {
+		f.send(c, to, msg)
+		return
+	}
+	c.world.boxes[to].put(msg)
 }
 
 // Recv blocks until a message with the given tag arrives from rank `from`
@@ -302,6 +428,9 @@ func (c *Comm) Recv(from, tag int) (payload any, source int) {
 // receive is a post + wait on the shared slot machinery, so it is ordered
 // correctly against any Irecv posted earlier on the same channel.
 func (c *Comm) recv(from, tag int) (any, int) {
+	if f := c.world.faults; f != nil {
+		f.maybeStall(c)
+	}
 	t0 := time.Now()
 	box := c.world.boxes[c.rank]
 	s := &c.blockSlot

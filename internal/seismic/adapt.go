@@ -32,7 +32,7 @@ func elemSizeKm(geom connectivity.Geometry, o octant.Octant) float64 {
 // seismic wavelength" of §IV.B, performed online as the paper requires.
 // It returns the balanced, partitioned forest.
 func BuildEarthForest(comm *mpi.Comm, opts Options) *core.Forest {
-	conn := connectivity.Ball(0.35, 1.0) // inner cube ends well inside the outer core
+	conn := EarthConn()
 	f := core.New(comm, conn, opts.MinLevel)
 	geom := conn.Geometry()
 	needRefine := func(o octant.Octant) bool {

@@ -1,0 +1,107 @@
+package seismic
+
+import (
+	"os"
+
+	"repro/internal/connectivity"
+	"repro/internal/core"
+	"repro/internal/mpi"
+)
+
+// Checkpoint/restart mirrors the advect driver: forest via core.Save/Load
+// plus the versioned field format holding the NC velocity-strain fields
+// per node. Everything else the solver carries — mesh, materials, maxVp,
+// dt — is a deterministic function of forest, options, and material
+// model, so a resumed run replays the remaining steps bitwise-identically
+// to the uninterrupted one.
+
+func checkpointPaths(base string) (forest, fields string) {
+	return base + ".forest", base + ".fields"
+}
+
+// CheckpointExists reports whether both files of a checkpoint base exist.
+func CheckpointExists(base string) bool {
+	fp, dp := checkpointPaths(base)
+	if _, err := os.Stat(fp); err != nil {
+		return false
+	}
+	_, err := os.Stat(dp)
+	return err == nil
+}
+
+// SaveCheckpoint writes the solver state at step to base+".forest" and
+// base+".fields" (temp-and-rename, so a crash mid-write never clobbers
+// the previous good checkpoint). Collective; all ranks return the same
+// error.
+func (s *Solver) SaveCheckpoint(base string, step int64) error {
+	fp, dp := checkpointPaths(base)
+	if err := s.F.Save(fp + ".tmp"); err != nil {
+		return err
+	}
+	meta := core.FieldMeta{Step: step, Time: s.Time}
+	if err := s.F.SaveFields(dp+".tmp", s.Mesh.Np*NC, meta, s.Q); err != nil {
+		return err
+	}
+	var err error
+	if s.Comm.Rank() == 0 {
+		if err = os.Rename(fp+".tmp", fp); err == nil {
+			err = os.Rename(dp+".tmp", dp)
+		}
+	}
+	return mpi.BcastErr(s.Comm, err)
+}
+
+// Resume restores a solver from the checkpoint at base onto the given
+// connectivity and material model (both must match the original run) and
+// returns it with the step the checkpoint was taken at. Any rank count
+// works; the source field, if one was set, must be re-attached by the
+// caller.
+func Resume(comm *mpi.Comm, conn *connectivity.Conn, opts Options,
+	matFn func(p [3]float64) Material, base string) (*Solver, int64, error) {
+	fp, dp := checkpointPaths(base)
+	f, err := core.Load(comm, conn, fp)
+	if err != nil {
+		return nil, 0, err
+	}
+	s := NewSolver(comm, f, opts, matFn)
+	data, meta, err := f.LoadFields(dp, s.Mesh.Np*NC)
+	if err != nil {
+		return nil, 0, err
+	}
+	s.Q = data
+	s.Time = meta.Time
+	return s, meta.Step, nil
+}
+
+// RunCheckpointed advances the solver from step start+1 through nsteps,
+// writing a checkpoint to base every `every` steps and calling
+// Comm.CrashPoint at each step boundary so an injected rank crash fires
+// between steps. A fresh run passes start = 0; a resumed run passes the
+// step returned by Resume.
+func (s *Solver) RunCheckpointed(nsteps, every int, base string, start int64) error {
+	dt := s.DT()
+	for step := start + 1; step <= int64(nsteps); step++ {
+		s.Comm.CrashPoint(int(step))
+		s.Step(dt)
+		if every > 0 && base != "" && step%int64(every) == 0 {
+			if err := s.SaveCheckpoint(base, step); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// FieldHash returns the collective bitwise fingerprint of the solver
+// state (all NC fields in global curve order plus the simulation time),
+// identical on every rank.
+func (s *Solver) FieldHash() uint64 {
+	return core.HashFields(s.Comm, s.Time, s.Q)
+}
+
+// EarthConn returns the macro-connectivity BuildEarthForest meshes (the
+// cubed ball, inner cube ending well inside the outer core), which a
+// checkpoint resume of an earth run must pass to Resume.
+func EarthConn() *connectivity.Conn {
+	return connectivity.Ball(0.35, 1.0)
+}

@@ -36,6 +36,10 @@ const (
 	// Wait spans are the only spans counted by wait attribution; keeping
 	// them leaves prevents double counting when collectives nest.
 	CatWait
+	// CatFault marks instant events emitted by the fault-injection layer
+	// (injected drops, duplicate deliveries, retries), so a chaos run's
+	// trace shows where the transport misbehaved.
+	CatFault
 )
 
 // String returns the Chrome-trace category label.
@@ -45,6 +49,8 @@ func (c Category) String() string {
 		return "comm"
 	case CatWait:
 		return "wait"
+	case CatFault:
+		return "fault"
 	}
 	return "phase"
 }
@@ -228,6 +234,23 @@ func (r *RankTracer) AddWait(name string, d time.Duration) {
 			Depth: len(r.stack),
 		})
 	}
+}
+
+// Mark records an instant (zero-duration) leaf event of the given
+// category at the current time — the form the fault-injection layer uses
+// for injected drops, duplicates, and retries. Like every RankTracer
+// method it is nil-safe and must only be called from the owning rank
+// goroutine.
+func (r *RankTracer) Mark(name string, cat Category) {
+	if r == nil {
+		return
+	}
+	r.events = append(r.events, Event{
+		Name:  name,
+		Cat:   cat,
+		Start: r.tracer.now(),
+		Depth: len(r.stack),
+	})
 }
 
 // Events returns the rank's recorded spans. Only call it after the rank
