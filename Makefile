@@ -3,9 +3,9 @@
 # so plain `go test` is not enough). CI runs `make verify`.
 
 GO ?= go
-PR ?= 5
+PR ?= 6
 
-.PHONY: verify vet build test test-race bench bench-smoke bench-record fig4 chaos
+.PHONY: verify vet build test test-race bench bench-smoke bench-record fig4 chaos telemetry-smoke
 
 verify: vet build test-race
 
@@ -35,10 +35,17 @@ bench-smoke:
 	$(GO) test -run 'Allocs' -timeout 5m ./internal/mangll/ ./internal/advect/ ./internal/seismic/
 
 # Archive the solver step benchmarks (ns/op, B/op, allocs/op) as
-# BENCH_$(PR).json for cross-PR comparison.
+# BENCH_$(PR).json for cross-PR comparison. The Telemetry variant rides
+# along so the telemetry-on overhead is part of the archived record.
 bench-record:
 	$(GO) test -run '^$$' -bench='Benchmark(Advect|Seismic)Step' -benchtime=10x -benchmem -timeout 10m ./internal/advect/ ./internal/seismic/ \
 		| $(GO) run ./cmd/benchjson > BENCH_$(PR).json
+
+# Live-endpoint smoke: run cmd/advect with -telemetry, scrape /metrics and
+# /healthz mid-run, and assert the key series (per-phase quantiles, mpi
+# counters, rank health) are present; then check manifest + benchjson.
+telemetry-smoke:
+	bash scripts/telemetry_smoke.sh
 
 # Chaos suite: the fault-injection and checkpoint/restart tests under the
 # race detector, plus a short end-to-end robust run of cmd/advect — a

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/advect"
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -42,7 +43,12 @@ func main() {
 	maxLevel := flag.Int("max-level", 4, "finest refinement level")
 	tracePath := flag.String("trace", "", "write the last run's Chrome trace-event JSON here")
 	profilePath := flag.String("profile", "", "write a CPU profile (pprof) of all runs here")
+	tel := telemetry.NewDriver("advect")
 	flag.Parse()
+	if err := tel.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer tel.Finish()
 
 	if *profilePath != "" {
 		pf, err := os.Create(*profilePath)
@@ -64,7 +70,7 @@ func main() {
 	opts.MaxLevel = int8(*maxLevel)
 
 	if *checkpointBase != "" {
-		if err := runRobust(parseRanks(*ranks)[0], opts, *steps, *adaptEvery); err != nil {
+		if err := runRobust(parseRanks(*ranks)[0], opts, *steps, *adaptEvery, tel); err != nil {
 			log.Fatalf("robust run: %v", err)
 		}
 		return
@@ -76,10 +82,13 @@ func main() {
 	var base float64
 	var tr *trace.Tracer
 	for _, p := range parseRanks(*ranks) {
+		tr = nil
 		if *tracePath != "" {
 			tr = trace.New(p) // keep the last rank count's trace
 		}
-		row := experiments.RunFig5Traced(p, opts, *steps, *adaptEvery, tr)
+		world, runTr := tel.BeginRun(p, tr)
+		row := experiments.RunFig5Obs(p, opts, *steps, *adaptEvery,
+			experiments.Obs{Tracer: runTr, World: world, OnRank: tel.OnRank})
 		fmt.Printf("%8d %10d %12d %10.3f %10.3f %8.2f %12.3e %10.1f\n",
 			row.Ranks, row.Elements, row.Unknowns, row.AMRSec, row.IntegSec,
 			row.AMRPercent, row.NormPerStep, row.ShippedPct)

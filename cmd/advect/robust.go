@@ -3,10 +3,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"repro/internal/advect"
 	"repro/internal/mpi"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Robust mode: -checkpoint enables a checkpoint/restart driver with
@@ -51,34 +54,46 @@ func faultPlan() *mpi.FaultPlan {
 // the configured fault plan, and if an injected crash takes the world
 // down, recover by resuming from the last checkpoint (faults stay on,
 // the crash does not repeat — a restarted process would not crash again).
-func runRobust(p int, opts advect.Options, steps, adaptEvery int) error {
+// Every attempt runs under a ring tracer guarded by the flight recorder,
+// so a crash leaves the last spans of every rank on disk next to the
+// checkpoint files.
+func runRobust(p int, opts advect.Options, steps, adaptEvery int, tel *telemetry.Driver) error {
 	attempt := func(plan *mpi.FaultPlan, doResume bool) (uint64, mpi.FaultStats, error) {
 		var h uint64
 		var fs mpi.FaultStats
-		err := mpi.RunErrFault(p, nil, plan, func(c *mpi.Comm) error {
-			var s *advect.Solver
-			var start int64
-			if doResume && advect.CheckpointExists(*checkpointBase) {
-				var err error
-				s, start, err = advect.ResumeShell(c, opts, *checkpointBase)
-				if err != nil {
-					return err
-				}
-				if c.Rank() == 0 {
-					fmt.Printf("resumed from %s at step %d (t=%.6f)\n", *checkpointBase, start, s.Time)
-				}
-			} else {
-				s = advect.NewShell(c, opts)
-			}
-			if err := s.RunCheckpointed(steps, adaptEvery, *checkpointEvery, *checkpointBase, start); err != nil {
-				return err
-			}
-			hh := s.FieldHash()
-			if c.Rank() == 0 {
-				h = hh
-				fs = c.FaultStats()
-			}
-			return nil
+		world, tr := tel.BeginRun(p, nil)
+		if tr == nil {
+			tr = trace.NewRing(p, 4096)
+		}
+		fr := telemetry.NewFlightRecorder(tr, filepath.Dir(*checkpointBase))
+		err := fr.Guard(func() error {
+			return mpi.RunErrOpt(p, mpi.RunOptions{Tracer: tr, Plan: plan, Metrics: world},
+				func(c *mpi.Comm) error {
+					var s *advect.Solver
+					var start int64
+					if doResume && advect.CheckpointExists(*checkpointBase) {
+						var err error
+						s, start, err = advect.ResumeShell(c, opts, *checkpointBase)
+						if err != nil {
+							return err
+						}
+						if c.Rank() == 0 {
+							fmt.Printf("resumed from %s at step %d (t=%.6f)\n", *checkpointBase, start, s.Time)
+						}
+					} else {
+						s = advect.NewShell(c, opts)
+					}
+					tel.OnRank("advect", c.Rank(), s.Met)
+					if err := s.RunCheckpointed(steps, adaptEvery, *checkpointEvery, *checkpointBase, start); err != nil {
+						return err
+					}
+					hh := s.FieldHash()
+					if c.Rank() == 0 {
+						h = hh
+						fs = c.FaultStats()
+					}
+					return nil
+				})
 		})
 		return h, fs, err
 	}

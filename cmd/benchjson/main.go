@@ -11,13 +11,22 @@
 // becomes an entry {"name": ..., "iterations": ..., "metrics": {"ns/op":
 // ..., "B/op": ..., "allocs/op": ...}}. Context lines (goos, goarch, pkg,
 // cpu) are carried into the header of the enclosing record.
+//
+// With -from-manifest, the input is instead a per-run telemetry manifest
+// (written by a driver's -manifest flag), whose benchmarks array is
+// already entry-shaped; the manifest's command and config become the
+// record context. Repeat the flag to merge several manifests.
+//
+//	go run ./cmd/benchjson -from-manifest run.manifest.json > BENCH.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -34,8 +43,55 @@ type record struct {
 	Benchmarks []entry           `json:"benchmarks"`
 }
 
+// manifestList collects repeated -from-manifest flags.
+type manifestList []string
+
+func (m *manifestList) String() string     { return strings.Join(*m, ",") }
+func (m *manifestList) Set(s string) error { *m = append(*m, s); return nil }
+
+// manifest is the subset of the telemetry run manifest benchjson reads.
+type manifest struct {
+	Command    string            `json:"command"`
+	Config     map[string]string `json:"config"`
+	Ranks      int               `json:"ranks"`
+	Benchmarks []entry           `json:"benchmarks"`
+}
+
 func main() {
+	var manifests manifestList
+	flag.Var(&manifests, "from-manifest",
+		"read a telemetry run manifest instead of bench text on stdin (repeatable)")
+	flag.Parse()
+
 	rec := record{Context: map[string]string{}, Benchmarks: []entry{}}
+
+	if len(manifests) > 0 {
+		rec.Context["goos"] = runtime.GOOS
+		rec.Context["goarch"] = runtime.GOARCH
+		for _, path := range manifests {
+			b, err := os.ReadFile(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+				os.Exit(1)
+			}
+			var m manifest
+			if err := json.Unmarshal(b, &m); err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", path, err)
+				os.Exit(1)
+			}
+			for k, v := range m.Config {
+				rec.Context[m.Command+"."+k] = v
+			}
+			rec.Context[m.Command+".ranks"] = strconv.Itoa(m.Ranks)
+			for _, e := range m.Benchmarks {
+				e.Pkg = "manifest:" + m.Command
+				rec.Benchmarks = append(rec.Benchmarks, e)
+			}
+		}
+		emit(rec)
+		return
+	}
+
 	pkg := ""
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -68,6 +124,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: read: %v\n", err)
 		os.Exit(1)
 	}
+	emit(rec)
+}
+
+func emit(rec record) {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rec); err != nil {

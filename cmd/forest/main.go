@@ -18,6 +18,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/mpi"
 	"repro/internal/octant"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/vtk"
 )
@@ -52,7 +53,12 @@ func main() {
 	loadPath := flag.String("load", "", "restore the forest from a checkpoint instead of building it")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the run here")
 	profilePath := flag.String("profile", "", "write a CPU profile (pprof) here")
+	tel := telemetry.NewDriver("forest")
 	flag.Parse()
+	if err := tel.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer tel.Finish()
 
 	if *profilePath != "" {
 		pf, err := os.Create(*profilePath)
@@ -71,9 +77,10 @@ func main() {
 	if *tracePath != "" {
 		tr = trace.New(*ranks)
 	}
+	world, runTr := tel.BeginRun(*ranks, tr)
 
 	conn := buildConn(*config)
-	mpi.RunTraced(*ranks, tr, func(c *mpi.Comm) {
+	mpi.RunOpt(*ranks, mpi.RunOptions{Tracer: runTr, Metrics: world}, func(c *mpi.Comm) {
 		var f *core.Forest
 		if *loadPath != "" {
 			var err error

@@ -22,6 +22,7 @@ import (
 	"runtime/pprof"
 
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -43,7 +44,12 @@ func main() {
 	steps := flag.Int("steps", 3, "number of 8x weak-scaling steps")
 	tracePath := flag.String("trace", "", "write the largest run's Chrome trace-event JSON here")
 	profilePath := flag.String("profile", "", "write a CPU profile (pprof) of all runs here")
+	tel := telemetry.NewDriver("scaling")
 	flag.Parse()
+	if err := tel.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer tel.Finish()
 
 	if *profilePath != "" {
 		f, err := os.Create(*profilePath)
@@ -76,7 +82,9 @@ func main() {
 		}
 		level := int8(*baseLevel + i)
 		tr := trace.New(ranks)
-		row := experiments.RunFig4Traced(ranks, level, tr)
+		world, runTr := tel.BeginRun(ranks, tr)
+		row := experiments.RunFig4Obs(ranks, level,
+			experiments.Obs{Tracer: runTr, World: world, OnRank: tel.OnRank})
 		lastTracer = tr
 		rows = append(rows, row)
 		fmt.Printf("%8d %7d %12d %10.0f | %8.4f %8.4f %8.4f %8.4f %8.4f %8.4f | %12.3f %12.3f\n",

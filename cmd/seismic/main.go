@@ -4,19 +4,23 @@
 // mesh-transfer accounting.
 //
 //	go run ./cmd/seismic -strong -ranks 1,2,4
-//	go run ./cmd/seismic -device -ranks 1,2,4
+//	go run ./cmd/seismic -device -ranks 1,2,4 -trace /tmp/t.json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
 	"math"
 	"os"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
 	"repro/internal/experiments"
 	"repro/internal/seismic"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 func parseRanks(s string) []int {
@@ -39,9 +43,30 @@ func main() {
 	freq := flag.Float64("freq", 0.002, "source frequency in Hz (paper: 0.28)")
 	steps := flag.Int("steps", 5, "time steps to average over")
 	maxLevel := flag.Int("max-level", 4, "finest refinement level")
+	tracePath := flag.String("trace", "", "write the last run's Chrome trace-event JSON here")
+	profilePath := flag.String("profile", "", "write a CPU profile (pprof) of all runs here")
+	tel := telemetry.NewDriver("seismic")
 	flag.Parse()
 	if !*strong && !*device {
 		*strong = true
+	}
+	if err := tel.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer tel.Finish()
+
+	if *profilePath != "" {
+		pf, err := os.Create(*profilePath)
+		if err != nil {
+			log.Fatalf("profile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			log.Fatalf("profile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			pf.Close()
+		}()
 	}
 
 	opts := seismic.DefaultOptions()
@@ -50,11 +75,23 @@ func main() {
 	opts.MaxLevel = int8(*maxLevel)
 
 	if *checkpointBase != "" {
-		if err := runRobust(parseRanks(*ranks)[0], opts, *steps); err != nil {
+		if err := runRobust(parseRanks(*ranks)[0], opts, *steps, tel); err != nil {
 			fmt.Println("robust run:", err)
 			os.Exit(1)
 		}
 		return
+	}
+
+	// One tracer per run; the last run's trace is reported and written out.
+	var lastTracer *trace.Tracer
+	obsFor := func(p int) experiments.Obs {
+		var tr *trace.Tracer
+		if *tracePath != "" {
+			tr = trace.New(p)
+			lastTracer = tr
+		}
+		world, runTr := tel.BeginRun(p, tr)
+		return experiments.Obs{Tracer: runTr, World: world, OnRank: tel.OnRank}
 	}
 
 	if *strong {
@@ -63,7 +100,7 @@ func main() {
 			"ranks", "elements", "unknowns", "meshing(s)", "waveprop(s/st)", "par-eff", "GFlop/s")
 		var base experiments.Fig9Row
 		for i, p := range parseRanks(*ranks) {
-			row := experiments.RunFig9(p, opts, *steps)
+			row := experiments.RunFig9Obs(p, opts, *steps, obsFor(p))
 			if i == 0 {
 				base = row
 				row.ParEff = 1
@@ -90,7 +127,7 @@ func main() {
 			// meshing frequency (elements scale roughly with freq^3).
 			o := opts
 			o.FreqHz = opts.FreqHz * math.Cbrt(float64(p))
-			row := experiments.RunFig10(p, o, *steps)
+			row := experiments.RunFig10Obs(p, o, *steps, obsFor(p))
 			if i == 0 {
 				base = row
 				row.ParEff = 1
@@ -102,5 +139,15 @@ func main() {
 				row.WaveUsPerElt, row.ParEff, row.GFlops)
 		}
 		fmt.Println("(paper, 8->256 GPUs: par eff 1.000-0.997; transfer amortized over many steps)")
+	}
+
+	if lastTracer != nil {
+		fmt.Println()
+		fmt.Println("Trace report of the last run (meshing/waveprop split, imbalance, recv-wait):")
+		lastTracer.WriteReport(os.Stdout)
+		if err := lastTracer.WriteChromeTraceFile(*tracePath); err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		fmt.Printf("wrote Chrome trace to %s (open in ui.perfetto.dev)\n", *tracePath)
 	}
 }

@@ -4,10 +4,13 @@ import (
 	"flag"
 	"fmt"
 	"math"
+	"path/filepath"
 	"time"
 
 	"repro/internal/mpi"
 	"repro/internal/seismic"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Robust mode: -checkpoint enables a checkpoint/restart driver for the
@@ -51,38 +54,49 @@ func premMat(p [3]float64) seismic.Material {
 
 // runRobust executes the earth-run checkpoint/restart driver on p ranks,
 // recovering from an injected crash by resuming from the last checkpoint.
-func runRobust(p int, opts seismic.Options, steps int) error {
+// Every attempt runs under a ring tracer guarded by the flight recorder,
+// so a crash leaves the last spans of every rank next to the checkpoint.
+func runRobust(p int, opts seismic.Options, steps int, tel *telemetry.Driver) error {
 	source := seismic.RickerSource([3]float64{0, 0, 0.9}, [3]float64{0, 0, 1},
 		opts.FreqHz*500, 1, 0.05)
 	attempt := func(plan *mpi.FaultPlan, doResume bool) (uint64, mpi.FaultStats, error) {
 		var h uint64
 		var fs mpi.FaultStats
-		err := mpi.RunErrFault(p, nil, plan, func(c *mpi.Comm) error {
-			var s *seismic.Solver
-			var start int64
-			if doResume && seismic.CheckpointExists(*checkpointBase) {
-				var err error
-				s, start, err = seismic.Resume(c, seismic.EarthConn(), opts, premMat, *checkpointBase)
-				if err != nil {
-					return err
-				}
-				if c.Rank() == 0 {
-					fmt.Printf("resumed from %s at step %d (t=%.6f)\n", *checkpointBase, start, s.Time)
-				}
-			} else {
-				f := seismic.BuildEarthForest(c, opts)
-				s = seismic.NewSolver(c, f, opts, premMat)
-			}
-			s.Source = source
-			if err := s.RunCheckpointed(steps, *checkpointEvery, *checkpointBase, start); err != nil {
-				return err
-			}
-			hh := s.FieldHash()
-			if c.Rank() == 0 {
-				h = hh
-				fs = c.FaultStats()
-			}
-			return nil
+		world, tr := tel.BeginRun(p, nil)
+		if tr == nil {
+			tr = trace.NewRing(p, 4096)
+		}
+		fr := telemetry.NewFlightRecorder(tr, filepath.Dir(*checkpointBase))
+		err := fr.Guard(func() error {
+			return mpi.RunErrOpt(p, mpi.RunOptions{Tracer: tr, Plan: plan, Metrics: world},
+				func(c *mpi.Comm) error {
+					var s *seismic.Solver
+					var start int64
+					if doResume && seismic.CheckpointExists(*checkpointBase) {
+						var err error
+						s, start, err = seismic.Resume(c, seismic.EarthConn(), opts, premMat, *checkpointBase)
+						if err != nil {
+							return err
+						}
+						if c.Rank() == 0 {
+							fmt.Printf("resumed from %s at step %d (t=%.6f)\n", *checkpointBase, start, s.Time)
+						}
+					} else {
+						f := seismic.BuildEarthForest(c, opts)
+						s = seismic.NewSolver(c, f, opts, premMat)
+					}
+					tel.OnRank("seismic", c.Rank(), s.Met)
+					s.Source = source
+					if err := s.RunCheckpointed(steps, *checkpointEvery, *checkpointBase, start); err != nil {
+						return err
+					}
+					hh := s.FieldHash()
+					if c.Rank() == 0 {
+						h = hh
+						fs = c.FaultStats()
+					}
+					return nil
+				})
 		})
 		return h, fs, err
 	}

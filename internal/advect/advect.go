@@ -60,6 +60,12 @@ type Solver struct {
 	Time float64
 	Met  *metrics.Registry
 
+	// Pre-resolved instrument handles so the hot path never touches the
+	// registry maps: whole-RHS, exchange-wait, and per-step duration
+	// histograms, plus the live progress gauges /healthz reads.
+	live                metrics.Progress
+	hRHS, hExch, hInteg *metrics.Histogram
+
 	rk  mangll.LSRK45
 	cv  [3][]float64 // contravariant velocity J grad(xi_a) . u at local nodes
 	buf []float64    // local+ghost work array
@@ -95,6 +101,10 @@ func NewCustom(comm *mpi.Comm, conn *connectivity.Conn, opts Options,
 		Met:   metrics.NewRegistry(),
 		velFn: vel, icFn: ic,
 	}
+	s.live = metrics.NewProgress(s.Met)
+	s.hRHS = s.Met.Histogram("rhs", metrics.UnitDuration)
+	s.hExch = s.Met.Histogram("exchange", metrics.UnitDuration)
+	s.hInteg = s.Met.Histogram("integrate", metrics.UnitDuration)
 	// One closure for the integrator, built once so Step allocates nothing.
 	s.rhsFn = func(tt float64, u, du []float64) { s.RHS(u, du) }
 	stop := s.Met.Start("amr")
@@ -223,6 +233,7 @@ func (s *Solver) RHS(c, dc []float64) {
 	m := s.Mesh
 	np := m.Np
 	tr := s.Comm.Tracer()
+	tRHS := time.Now()
 	copy(s.buf[:m.NumLocal*np], c)
 
 	if s.Opts.NoOverlap {
@@ -230,10 +241,11 @@ func (s *Solver) RHS(c, dc []float64) {
 		tr.Begin("exchange")
 		m.ExchangeGhost(1, s.buf)
 		tr.End()
-		s.Met.AddDuration("exchange", time.Since(t0))
+		s.hExch.ObserveDuration(time.Since(t0))
 		s.volumeTerm(c, dc)
 		s.faceTerm(m.IntLinks, dc)
 		s.faceTerm(m.BndLinks, dc)
+		s.hRHS.ObserveDuration(time.Since(tRHS))
 		return
 	}
 
@@ -244,8 +256,9 @@ func (s *Solver) RHS(c, dc []float64) {
 	tr.Begin("exchange")
 	ex.Finish()
 	tr.End()
-	s.Met.AddDuration("exchange", time.Since(t0))
+	s.hExch.ObserveDuration(time.Since(t0))
 	s.faceTerm(m.BndLinks, dc)
+	s.hRHS.ObserveDuration(time.Since(tRHS))
 }
 
 // volumeTerm accumulates the volume divergence of every local element.
@@ -333,7 +346,8 @@ func (s *Solver) Step(dt float64) {
 	s.rk.Step(s.C, s.Time, dt, s.rhsFn)
 	s.Time += dt
 	tr.End()
-	s.Met.AddDuration("integrate", time.Since(t0))
+	s.hInteg.ObserveDuration(time.Since(t0))
+	s.live.Tick(s.Time)
 }
 
 // Indicator returns the per-element adaptation indicator: the nodal value

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/metrics"
 	"repro/internal/mpi"
+	"repro/internal/trace"
 )
 
 // benchOpts fixes a uniform level-2 shell (MaxLevel == Level suppresses the
@@ -57,6 +59,31 @@ func BenchmarkAdvectStep(b *testing.B) {
 // Comparing against BenchmarkAdvectStep/P*/overlap gives the cost of
 // turning the machinery on; with no plan the hot path is byte-for-byte
 // the original code (pinned by the Allocs tests).
+// BenchmarkAdvectStepTelemetry measures the live-telemetry overhead: the
+// same step loop as BenchmarkAdvectStep ("overlap" mode) but with the full
+// stack a `-telemetry` run enables — a bounded ring tracer bridged into a
+// sharded world registry plus live transport metrics in the runtime.
+// Comparing ns/op against BenchmarkAdvectStep/P*/overlap gives the cost of
+// leaving telemetry on (EXPERIMENTS.md records it).
+func BenchmarkAdvectStepTelemetry(b *testing.B) {
+	for _, p := range []int{1, 8} {
+		b.Run(fmt.Sprintf("P%d/overlap", p), func(b *testing.B) {
+			world := metrics.NewSharded(p)
+			tr := trace.NewRing(p, 8192).WithMetrics(world)
+			mpi.RunOpt(p, mpi.RunOptions{Tracer: tr, Metrics: world}, func(c *mpi.Comm) {
+				s := NewShell(c, benchOpts())
+				dt := s.DT()
+				s.Step(dt) // warm up scratch, histogram lanes, and the bridge
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					s.Step(dt)
+				}
+				b.StopTimer()
+			})
+		})
+	}
+}
+
 func BenchmarkAdvectStepFaultPath(b *testing.B) {
 	for _, p := range []int{1, 8} {
 		b.Run(fmt.Sprintf("P%d/overlap", p), func(b *testing.B) {

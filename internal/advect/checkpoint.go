@@ -54,7 +54,12 @@ func (s *Solver) SaveCheckpoint(base string, step int64) error {
 			err = os.Rename(dp+".tmp", dp)
 		}
 	}
-	return mpi.BcastErr(s.Comm, err)
+	err = mpi.BcastErr(s.Comm, err)
+	if err == nil {
+		s.Met.AddCount("checkpoint_saves", 1)
+		s.Met.Gauge("checkpoint_last_step").Set(step)
+	}
+	return err
 }
 
 // ResumeShell restores a shell solver from a checkpoint base; see
@@ -84,6 +89,10 @@ func ResumeCustom(comm *mpi.Comm, conn *connectivity.Conn, opts Options,
 		velFn: vel, icFn: ic,
 		F: f,
 	}
+	s.live = metrics.NewProgress(s.Met)
+	s.hRHS = s.Met.Histogram("rhs", metrics.UnitDuration)
+	s.hExch = s.Met.Histogram("exchange", metrics.UnitDuration)
+	s.hInteg = s.Met.Histogram("integrate", metrics.UnitDuration)
 	s.rhsFn = func(tt float64, u, du []float64) { s.RHS(u, du) }
 	s.rebuild()
 	data, meta, err := f.LoadFields(dp, s.Mesh.Np)

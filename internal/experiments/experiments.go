@@ -26,12 +26,37 @@ import (
 	"repro/internal/advect"
 	"repro/internal/connectivity"
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/mpi"
 	"repro/internal/octant"
 	"repro/internal/rhea"
 	"repro/internal/seismic"
 	"repro/internal/trace"
 )
+
+// Obs bundles the optional observability hooks an experiment threads
+// through its run: a tracer for spans, a sharded world registry the
+// message-passing runtime records live transport metrics into, and a
+// callback handing the caller each rank's solver registry as it is
+// created (the telemetry server registers these as per-rank sources).
+// The zero Obs disables everything.
+type Obs struct {
+	Tracer *trace.Tracer
+	World  *metrics.Registry
+	OnRank func(name string, rank int, met *metrics.Registry)
+}
+
+// runOptions translates the hooks into message-runtime run options.
+func (o Obs) runOptions() mpi.RunOptions {
+	return mpi.RunOptions{Tracer: o.Tracer, Metrics: o.World}
+}
+
+// rank invokes the per-rank registry callback if one is set.
+func (o Obs) rank(name string, rank int, met *metrics.Registry) {
+	if o.OnRank != nil {
+		o.OnRank(name, rank, met)
+	}
+}
 
 // FractalRefiner reproduces the Figure 4 workload: "a fractal-type mesh
 // defined by recursively subdividing octants with child identifiers 0, 3,
@@ -118,9 +143,15 @@ func RunFig4(ranks int, level int8) Fig4Row {
 // trace.New(ranks)): the run's spans land in tr, and the returned row's
 // PhaseImb/PhaseWait columns are filled from the trace aggregation.
 func RunFig4Traced(ranks int, level int8, tr *trace.Tracer) Fig4Row {
+	return RunFig4Obs(ranks, level, Obs{Tracer: tr})
+}
+
+// RunFig4Obs is RunFig4 with full observability hooks.
+func RunFig4Obs(ranks int, level int8, obs Obs) Fig4Row {
+	tr := obs.Tracer
 	var row Fig4Row
 	conn := connectivity.SixRotCubes()
-	mpi.RunTraced(ranks, tr, func(c *mpi.Comm) {
+	mpi.RunOpt(ranks, obs.runOptions(), func(c *mpi.Comm) {
 		var f *core.Forest
 		r := Fig4Row{Ranks: ranks, Level: level}
 		r.NewSec = timedPhase(c, func() { f = core.New(c, conn, level) })
@@ -190,10 +221,16 @@ func RunFig5(ranks int, opts advect.Options, nsteps, adaptEvery int) Fig5Row {
 // RunFig5Traced is RunFig5 with an optional tracer recording the
 // per-timestep solve/adapt split and the AMR sub-phases.
 func RunFig5Traced(ranks int, opts advect.Options, nsteps, adaptEvery int, tr *trace.Tracer) Fig5Row {
+	return RunFig5Obs(ranks, opts, nsteps, adaptEvery, Obs{Tracer: tr})
+}
+
+// RunFig5Obs is RunFig5 with full observability hooks.
+func RunFig5Obs(ranks int, opts advect.Options, nsteps, adaptEvery int, obs Obs) Fig5Row {
 	var row Fig5Row
-	mpi.RunTraced(ranks, tr, func(c *mpi.Comm) {
+	mpi.RunOpt(ranks, obs.runOptions(), func(c *mpi.Comm) {
 		s := advect.NewShell(c, opts)
 		s.Met.Reset()
+		obs.rank("advect", c.Rank(), s.Met)
 		dt := s.DT()
 		var amr, integ float64
 		for step := 1; step <= nsteps; step++ {
@@ -235,10 +272,18 @@ type Fig7Row struct {
 // RunFig7 executes a mantle-convection nonlinear solve and returns the
 // solve / V-cycle / AMR runtime split.
 func RunFig7(ranks int, opts rhea.Options) Fig7Row {
+	return RunFig7Obs(ranks, opts, Obs{})
+}
+
+// RunFig7Obs is RunFig7 with observability hooks: the mantle solver's
+// registry is handed to OnRank and the nonlinear solve runs under a span.
+func RunFig7Obs(ranks int, opts rhea.Options, obs Obs) Fig7Row {
 	var row Fig7Row
-	mpi.Run(ranks, func(c *mpi.Comm) {
+	mpi.RunOpt(ranks, obs.runOptions(), func(c *mpi.Comm) {
 		m := rhea.New(c, opts)
-		rep := m.Run()
+		obs.rank("mantle", c.Rank(), m.Met)
+		var rep rhea.Report
+		c.Tracer().Span("solve", func() { rep = m.Run() })
 		if c.Rank() == 0 {
 			row = Fig7Row{Ranks: ranks, Report: rep}
 		}
@@ -261,15 +306,27 @@ type Fig9Row struct {
 // RunFig9 builds the wavelength-adapted earth mesh and times both the
 // parallel mesh generation and the wave-propagation time step.
 func RunFig9(ranks int, opts seismic.Options, steps int) Fig9Row {
+	return RunFig9Obs(ranks, opts, steps, Obs{})
+}
+
+// RunFig9Obs is RunFig9 with observability hooks: meshing and wave
+// propagation run under spans, and each rank's solver registry is handed
+// to OnRank.
+func RunFig9Obs(ranks int, opts seismic.Options, steps int, obs Obs) Fig9Row {
 	var row Fig9Row
-	mpi.Run(ranks, func(c *mpi.Comm) {
+	mpi.RunOpt(ranks, obs.runOptions(), func(c *mpi.Comm) {
 		c.Barrier()
 		t0 := time.Now()
-		f := seismic.BuildEarthForest(c, opts)
-		s := seismic.NewSolver(c, f, opts, func(p [3]float64) seismic.Material {
-			r := norm3(p) * seismic.EarthRadiusKm
-			return seismic.PREMMaterial(r)
+		var f *core.Forest
+		var s *seismic.Solver
+		c.Tracer().Span("meshing", func() {
+			f = seismic.BuildEarthForest(c, opts)
+			s = seismic.NewSolver(c, f, opts, func(p [3]float64) seismic.Material {
+				r := norm3(p) * seismic.EarthRadiusKm
+				return seismic.PREMMaterial(r)
+			})
 		})
+		obs.rank("seismic", c.Rank(), s.Met)
 		meshing := mpi.AllreduceMax(c, time.Since(t0).Seconds())
 
 		// Earthquake-like source + initial quiet state.
@@ -278,9 +335,11 @@ func RunFig9(ranks int, opts seismic.Options, steps int) Fig9Row {
 		dt := s.DT()
 		c.Barrier()
 		t1 := time.Now()
-		for i := 0; i < steps; i++ {
-			s.Step(dt)
-		}
+		c.Tracer().Span("waveprop", func() {
+			for i := 0; i < steps; i++ {
+				s.Step(dt)
+			}
+		})
 		waveSec := mpi.AllreduceMax(c, time.Since(t1).Seconds()) / float64(steps)
 		flops := s.FlopsPerStep()
 		if c.Rank() == 0 {
@@ -313,26 +372,40 @@ type Fig10Row struct {
 // transfer, and single-precision wave propagation, reporting the paper's
 // normalized microseconds per time step per average elements per device.
 func RunFig10(ranks int, opts seismic.Options, steps int) Fig10Row {
+	return RunFig10Obs(ranks, opts, steps, Obs{})
+}
+
+// RunFig10Obs is RunFig10 with observability hooks; spans cover meshing,
+// the host-to-device transfer, and the device wave propagation.
+func RunFig10Obs(ranks int, opts seismic.Options, steps int, obs Obs) Fig10Row {
 	var row Fig10Row
-	mpi.Run(ranks, func(c *mpi.Comm) {
+	mpi.RunOpt(ranks, obs.runOptions(), func(c *mpi.Comm) {
 		c.Barrier()
 		t0 := time.Now()
-		f := seismic.BuildEarthForest(c, opts)
-		s := seismic.NewSolver(c, f, opts, func(p [3]float64) seismic.Material {
-			r := norm3(p) * seismic.EarthRadiusKm
-			return seismic.PREMMaterial(r)
+		var f *core.Forest
+		var s *seismic.Solver
+		c.Tracer().Span("meshing", func() {
+			f = seismic.BuildEarthForest(c, opts)
+			s = seismic.NewSolver(c, f, opts, func(p [3]float64) seismic.Material {
+				r := norm3(p) * seismic.EarthRadiusKm
+				return seismic.PREMMaterial(r)
+			})
 		})
+		obs.rank("seismic", c.Rank(), s.Met)
 		meshing := mpi.AllreduceMax(c, time.Since(t0).Seconds())
 
-		dev := seismic.NewDevice(s)
+		var dev *seismic.Device
+		c.Tracer().Span("transfer", func() { dev = seismic.NewDevice(s) })
 		transfer := mpi.AllreduceMax(c, dev.TransferSec)
 
 		dt := s.DT()
 		c.Barrier()
 		t1 := time.Now()
-		for i := 0; i < steps; i++ {
-			dev.Step(dt)
-		}
+		c.Tracer().Span("waveprop", func() {
+			for i := 0; i < steps; i++ {
+				dev.Step(dt)
+			}
+		})
 		waveSec := mpi.AllreduceMax(c, time.Since(t1).Seconds()) / float64(steps)
 		flops := s.FlopsPerStep()
 		if c.Rank() == 0 {

@@ -1,0 +1,35 @@
+package metrics
+
+import "time"
+
+// Progress bundles the per-rank live progress instruments a solver
+// publishes for the telemetry layer's /healthz endpoint: a monotonic step
+// counter, the current step and simulation time, and a wall-clock
+// heartbeat whose staleness exposes dead or straggling ranks. The handles
+// are resolved once at solver construction; Tick is a few atomic stores
+// per time step.
+type Progress struct {
+	Steps     *Counter // total steps completed
+	Step      *Gauge   // current step number
+	SimTimeUS *Gauge   // simulation time in microseconds
+	Heartbeat *Gauge   // wall-clock UnixNano of the last Tick
+}
+
+// NewProgress resolves the progress instruments in r under their
+// well-known names (steps, step, sim_time_us, heartbeat_unix_ns).
+func NewProgress(r *Registry) Progress {
+	return Progress{
+		Steps:     r.Counter("steps"),
+		Step:      r.Gauge("step"),
+		SimTimeUS: r.Gauge("sim_time_us"),
+		Heartbeat: r.Gauge("heartbeat_unix_ns"),
+	}
+}
+
+// Tick records the completion of one time step at simulation time t.
+func (p Progress) Tick(t float64) {
+	p.Steps.Add(1)
+	p.Step.Set(p.Steps.Value())
+	p.SimTimeUS.Set(int64(t * 1e6))
+	p.Heartbeat.Set(time.Now().UnixNano())
+}

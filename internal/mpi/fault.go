@@ -129,7 +129,7 @@ func RunFault(size int, plan *FaultPlan, fn func(*Comm)) {
 // an injected rank crash surfaces as a *CrashError return instead of a
 // deadlock. plan may be nil (equivalent to RunErrTraced).
 func RunErrFault(size int, tr *trace.Tracer, plan *FaultPlan, fn func(*Comm) error) error {
-	return runErr(size, tr, plan, fn)
+	return runErr(size, RunOptions{Tracer: tr, Plan: plan}, fn)
 }
 
 // CrashPoint is the step boundary hook of the injected process fault:
@@ -178,11 +178,17 @@ type faultState struct {
 	// join them before tearing the world down.
 	deliveries sync.WaitGroup
 
+	// live, when the world has a metrics registry attached, mirrors the
+	// counters below into it as events happen, so a telemetry scrape during
+	// a chaos run sees the fault activity in flight (the plan's Met
+	// registry is still only written once at the end).
+	live *worldMetrics
+
 	drops, retries, dups, dedups, delays, reorders, stalls atomic.Int64
 }
 
-func newFaultState(plan *FaultPlan, size int) *faultState {
-	f := &faultState{plan: *plan, size: size}
+func newFaultState(plan *FaultPlan, size int, live *worldMetrics) *faultState {
+	f := &faultState{plan: *plan, size: size, live: live}
 	if f.plan.MaxDelay <= 0 {
 		f.plan.MaxDelay = 200 * time.Microsecond
 	}
@@ -200,11 +206,23 @@ func newFaultState(plan *FaultPlan, size int) *faultState {
 	return f
 }
 
+// dedup counts one discarded duplicate copy, attributed to the sending
+// rank's lane. Runs on sender goroutines and delivery timers (counters are
+// atomic).
+func (f *faultState) dedup(from int) {
+	f.dedups.Add(1)
+	if f.live != nil {
+		f.live.dedups.AddShard(f.live.shard(from), 1)
+	}
+}
+
 // flushMetrics publishes the counters into the plan's registry, once, at
 // the end of the run (per-event registry locking would serialize ranks).
+// Skipped when that registry is the world's live registry, which already
+// accumulated the same events as they happened.
 func (f *faultState) flushMetrics() {
 	m := f.plan.Met
-	if m == nil {
+	if m == nil || (f.live != nil && f.live.reg == m) {
 		return
 	}
 	m.AddCount("fault_drops", f.drops.Load())
@@ -258,6 +276,9 @@ func (f *faultState) maybeStall(c *Comm) {
 		return
 	}
 	f.stalls.Add(1)
+	if f.live != nil {
+		f.live.stalls.AddShard(f.live.shard(c.rank), 1)
+	}
 	time.Sleep(f.plan.StallTime)
 	if tr := c.Tracer(); tr != nil {
 		tr.AddWait("fault:stall", f.plan.StallTime)
@@ -287,6 +308,11 @@ func (f *faultState) send(c *Comm, to int, msg message) {
 	if drops > 0 {
 		f.drops.Add(int64(drops))
 		f.retries.Add(int64(drops))
+		if f.live != nil {
+			s := f.live.shard(c.rank)
+			f.live.drops.AddShard(s, int64(drops))
+			f.live.retries.AddShard(s, int64(drops))
+		}
 		delay += time.Duration(drops) * f.plan.RetryTimeout
 		if tr != nil {
 			for i := 0; i < drops; i++ {
@@ -296,10 +322,16 @@ func (f *faultState) send(c *Comm, to int, msg message) {
 	}
 	if f.plan.Delay > 0 && f.roll(kindDelay, c.rank, to, seq, 0) < f.plan.Delay {
 		f.delays.Add(1)
+		if f.live != nil {
+			f.live.delays.AddShard(f.live.shard(c.rank), 1)
+		}
 		delay += time.Duration(f.roll(kindDelayAmt, c.rank, to, seq, 0) * float64(f.plan.MaxDelay))
 	}
 	if f.plan.Reorder > 0 && f.roll(kindReorder, c.rank, to, seq, 0) < f.plan.Reorder {
 		f.reorders.Add(1)
+		if f.live != nil {
+			f.live.reorders.AddShard(f.live.shard(c.rank), 1)
+		}
 		delay += f.plan.MaxDelay
 		if tr != nil {
 			tr.Mark("fault:reorder", trace.CatFault)
@@ -319,6 +351,9 @@ func (f *faultState) send(c *Comm, to int, msg message) {
 
 	if f.plan.Dup > 0 && f.roll(kindDup, c.rank, to, seq, 0) < f.plan.Dup {
 		f.dups.Add(1)
+		if f.live != nil {
+			f.live.dups.AddShard(f.live.shard(c.rank), 1)
+		}
 		if tr != nil {
 			tr.Mark("fault:dup", trace.CatFault)
 		}

@@ -53,6 +53,7 @@ type World struct {
 	stats  []Stats
 	tracer *trace.Tracer // optional; nil disables span recording
 	faults *faultState   // optional; nil runs the zero-overhead path
+	met    *worldMetrics // optional; nil disables live metric recording
 
 	// aborted flips when a rank dies (panic or injected crash). Blocked
 	// receivers observe it and unwind instead of deadlocking on messages
@@ -129,7 +130,7 @@ func RunErr(size int, fn func(*Comm) error) error {
 
 // RunErrTraced is RunErr with an optional tracer attached to the world.
 func RunErrTraced(size int, tr *trace.Tracer, fn func(*Comm) error) error {
-	return runErr(size, tr, nil, fn)
+	return runErr(size, RunOptions{Tracer: tr}, fn)
 }
 
 // runErr is the shared Run machinery. A rank that panics aborts the
@@ -139,7 +140,8 @@ func RunErrTraced(size int, tr *trace.Tracer, fn func(*Comm) error) error {
 // surfaces instead of deadlocking the run. An injected crash (crashPanic)
 // is converted to the rank's error and returned, which is what a
 // checkpoint/restart driver recovers from.
-func runErr(size int, tr *trace.Tracer, plan *FaultPlan, fn func(*Comm) error) error {
+func runErr(size int, opts RunOptions, fn func(*Comm) error) error {
+	tr, plan := opts.Tracer, opts.Plan
 	if size < 1 {
 		return fmt.Errorf("mpi: world size %d < 1", size)
 	}
@@ -147,8 +149,11 @@ func runErr(size int, tr *trace.Tracer, plan *FaultPlan, fn func(*Comm) error) e
 		return fmt.Errorf("mpi: tracer has %d ranks, world has %d", tr.NumRanks(), size)
 	}
 	w := &World{size: size, tracer: tr}
+	if opts.Metrics != nil {
+		w.met = newWorldMetrics(opts.Metrics, plan != nil)
+	}
 	if plan != nil {
-		w.faults = newFaultState(plan, size)
+		w.faults = newFaultState(plan, size, w.met)
 	}
 	w.boxes = make([]*mailbox, size)
 	w.stats = make([]Stats, size)
@@ -298,7 +303,7 @@ func (m *mailbox) putSeq(msg message, seq uint64, f *faultState) {
 	switch {
 	case seq < lr.next:
 		m.mu.Unlock()
-		f.dedups.Add(1)
+		f.dedup(msg.from)
 		return
 	case seq > lr.next:
 		if lr.held == nil {
@@ -306,7 +311,7 @@ func (m *mailbox) putSeq(msg message, seq uint64, f *faultState) {
 		}
 		if _, dup := lr.held[seq]; dup {
 			m.mu.Unlock()
-			f.dedups.Add(1)
+			f.dedup(msg.from)
 			return
 		}
 		lr.held[seq] = msg
@@ -404,6 +409,9 @@ func (c *Comm) send(to, tag int, payload any) {
 	ts := st.tag(tag)
 	ts.MsgsSent++
 	ts.BytesSent += bytes
+	if m := c.world.met; m != nil {
+		m.recordSend(c.rank, bytes)
+	}
 	msg := message{from: c.rank, tag: tag, payload: payload}
 	if f := c.world.faults; f != nil {
 		f.send(c, to, msg)
@@ -447,6 +455,9 @@ func (c *Comm) recv(from, tag int) (any, int) {
 	ts.MsgsRecvd++
 	ts.BytesRecvd += bytes
 	ts.RecvWait += wait
+	if m := c.world.met; m != nil {
+		m.recordRecv(c.rank, bytes, int64(wait))
+	}
 	if tr := c.Tracer(); tr != nil {
 		tr.AddWait("recv:"+TagName(tag), wait)
 	}

@@ -97,6 +97,9 @@ func (r *Request) finish(msg message, wait time.Duration) {
 	ts.MsgsRecvd++
 	ts.BytesRecvd += bytes
 	ts.RecvWait += wait
+	if m := r.c.world.met; m != nil {
+		m.recordRecv(r.c.rank, bytes, int64(wait))
+	}
 	if wait > 0 {
 		if tr := r.c.Tracer(); tr != nil {
 			tr.AddWait("recv:"+TagName(r.tag), wait)

@@ -1,0 +1,103 @@
+package mpi
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// RunOptions bundles everything optional a world can be run with. The zero
+// value is a plain untraced, fault-free, unmetered run.
+type RunOptions struct {
+	// Tracer attaches per-rank span recording (must be sized to the world).
+	Tracer *trace.Tracer
+	// Plan installs a seeded fault-injection schedule.
+	Plan *FaultPlan
+	// Metrics attaches a live instrument registry: every rank records its
+	// message/byte counters, receive-wait distribution, and fault events
+	// into it as they happen (counter names mpi_msgs_sent, mpi_bytes_sent,
+	// mpi_msgs_recvd, mpi_bytes_recvd; histogram mpi_recv_wait; fault_*
+	// counters when a plan is installed). Unlike the rank-private Stats —
+	// which are only safe to read after the run — the registry may be
+	// scraped concurrently by an HTTP handler. Create it with
+	// metrics.NewSharded(size) so each rank gets its own lane; recording
+	// is a few atomic adds per message, and nil disables it entirely.
+	Metrics *metrics.Registry
+}
+
+// RunOpt executes fn on size ranks with the given options, panicking on
+// error as Run does.
+func RunOpt(size int, opts RunOptions, fn func(*Comm)) {
+	err := RunErrOpt(size, opts, func(c *Comm) error {
+		fn(c)
+		return nil
+	})
+	if err != nil {
+		panic(err)
+	}
+}
+
+// RunErrOpt executes fn on size ranks with the given options. It is the
+// most general Run form; the Run/RunTraced/RunErrFault family are
+// shorthands for subsets of RunOptions.
+func RunErrOpt(size int, opts RunOptions, fn func(*Comm) error) error {
+	return runErr(size, opts, fn)
+}
+
+// worldMetrics holds the world's pre-resolved live instrument handles, so
+// the per-message hot path is a nil check plus atomic adds — no registry
+// map lookups, no allocation.
+type worldMetrics struct {
+	reg    *metrics.Registry
+	shards int
+
+	msgsSent, bytesSent   *metrics.Counter
+	msgsRecvd, bytesRecvd *metrics.Counter
+	recvWait              *metrics.Histogram
+
+	drops, retries, dups, dedups *metrics.Counter
+	delays, reorders, stalls     *metrics.Counter
+}
+
+func newWorldMetrics(reg *metrics.Registry, withFaults bool) *worldMetrics {
+	m := &worldMetrics{
+		reg:        reg,
+		shards:     reg.Shards(),
+		msgsSent:   reg.Counter("mpi_msgs_sent"),
+		bytesSent:  reg.Counter("mpi_bytes_sent"),
+		msgsRecvd:  reg.Counter("mpi_msgs_recvd"),
+		bytesRecvd: reg.Counter("mpi_bytes_recvd"),
+		recvWait:   reg.Histogram("mpi_recv_wait", metrics.UnitDuration),
+	}
+	if withFaults {
+		m.drops = reg.Counter("fault_drops")
+		m.retries = reg.Counter("fault_retries")
+		m.dups = reg.Counter("fault_dups")
+		m.dedups = reg.Counter("fault_dedups")
+		m.delays = reg.Counter("fault_delays")
+		m.reorders = reg.Counter("fault_reorders")
+		m.stalls = reg.Counter("fault_stalls")
+	}
+	return m
+}
+
+// shard maps a rank to its counter lane, clamping when the registry was
+// created with fewer shards than the world has ranks.
+func (m *worldMetrics) shard(rank int) int {
+	if rank < m.shards {
+		return rank
+	}
+	return 0
+}
+
+func (m *worldMetrics) recordSend(rank int, bytes int64) {
+	s := m.shard(rank)
+	m.msgsSent.AddShard(s, 1)
+	m.bytesSent.AddShard(s, bytes)
+}
+
+func (m *worldMetrics) recordRecv(rank int, bytes int64, wait int64) {
+	s := m.shard(rank)
+	m.msgsRecvd.AddShard(s, 1)
+	m.bytesRecvd.AddShard(s, bytes)
+	m.recvWait.ObserveShard(s, wait)
+}

@@ -48,7 +48,12 @@ func (s *Solver) SaveCheckpoint(base string, step int64) error {
 			err = os.Rename(dp+".tmp", dp)
 		}
 	}
-	return mpi.BcastErr(s.Comm, err)
+	err = mpi.BcastErr(s.Comm, err)
+	if err == nil {
+		s.Met.AddCount("checkpoint_saves", 1)
+		s.Met.Gauge("checkpoint_last_step").Set(step)
+	}
+	return err
 }
 
 // Resume restores a solver from the checkpoint at base onto the given

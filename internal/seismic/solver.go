@@ -44,6 +44,11 @@ type Solver struct {
 	LGL  *mangll.LGL
 	Met  *metrics.Registry
 
+	// Pre-resolved instrument handles so the hot path never touches the
+	// registry maps, plus the live progress gauges /healthz reads.
+	live               metrics.Progress
+	hRHS, hExch, hStep *metrics.Histogram
+
 	// Q holds the 9 fields per node, local elements only.
 	Q    []float64
 	Time float64
@@ -81,6 +86,10 @@ func NewSolver(comm *mpi.Comm, f *core.Forest, opts Options, matFn func(p [3]flo
 		LGL: mangll.NewLGL(opts.Degree), MatFn: matFn,
 		Met: metrics.NewRegistry(),
 	}
+	s.live = metrics.NewProgress(s.Met)
+	s.hRHS = s.Met.Histogram("rhs", metrics.UnitDuration)
+	s.hExch = s.Met.Histogram("exchange", metrics.UnitDuration)
+	s.hStep = s.Met.Histogram("waveprop", metrics.UnitDuration)
 	// One closure for the integrator, built once so Step allocates nothing.
 	s.rhsFn = func(tt float64, u, du []float64) { s.RHS(tt, u, du) }
 	s.rebuild()
@@ -174,12 +183,13 @@ func fluxNormal(mat *Material, q []float64, n [3]float64, out []float64) {
 func (s *Solver) RHS(t float64, q, dq []float64) {
 	m := s.Mesh
 	np := m.Np
+	tRHS := time.Now()
 	copy(s.buf[:m.NumLocal*np*NC], q)
 
 	if s.Opts.NoOverlap {
 		t0 := time.Now()
 		m.ExchangeGhost(NC, s.buf)
-		s.Met.AddDuration("exchange", time.Since(t0))
+		s.hExch.ObserveDuration(time.Since(t0))
 		s.volumeTerm(q, dq)
 		s.surfaceTerm(m.IntLinks, q, dq)
 		s.surfaceTerm(m.BndLinks, q, dq)
@@ -189,7 +199,7 @@ func (s *Solver) RHS(t float64, q, dq []float64) {
 		s.surfaceTerm(m.IntLinks, q, dq)
 		t0 := time.Now()
 		ex.Finish()
-		s.Met.AddDuration("exchange", time.Since(t0))
+		s.hExch.ObserveDuration(time.Since(t0))
 		s.surfaceTerm(m.BndLinks, q, dq)
 	}
 
@@ -203,6 +213,7 @@ func (s *Solver) RHS(t float64, q, dq []float64) {
 			dq[i*NC+2] += ir * f[2]
 		}
 	}
+	s.hRHS.ObserveDuration(time.Since(tRHS))
 }
 
 // volumeTerm accumulates the non-conservative volume derivatives of every
@@ -415,7 +426,8 @@ func (s *Solver) Step(dt float64) {
 	t0 := time.Now()
 	s.rk.Step(s.Q, s.Time, dt, s.rhsFn)
 	s.Time += dt
-	s.Met.AddDuration("waveprop", time.Since(t0))
+	s.hStep.ObserveDuration(time.Since(t0))
+	s.live.Tick(s.Time)
 }
 
 // Energy returns the global elastic energy 1/2 rho |v|^2 + 1/2 sigma:E.

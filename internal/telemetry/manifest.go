@@ -1,0 +1,172 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Manifest is the structured record of one run, written as JSON at exit:
+// what was run (command + resolved flag values), how long it took, the
+// per-phase latency distributions and cross-rank imbalance, the
+// communication and fault totals, and a benchjson-shaped Benchmarks array
+// so `cmd/benchjson -from-manifest` can fold any run into a BENCH_*.json
+// archive without re-running `go test -bench`.
+type Manifest struct {
+	Command     string            `json:"command"`
+	Config      map[string]string `json:"config,omitempty"`
+	StartTime   time.Time         `json:"start_time"`
+	EndTime     time.Time         `json:"end_time"`
+	WallSeconds float64           `json:"wall_seconds"`
+	Ranks       int               `json:"ranks"`
+
+	Phases   []PhaseSummary   `json:"phases,omitempty"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+	Gauges   map[string]int64 `json:"gauges,omitempty"`
+	Faults   map[string]int64 `json:"faults,omitempty"`
+
+	Benchmarks []BenchEntry `json:"benchmarks"`
+}
+
+// PhaseSummary is one duration histogram's manifest form.
+type PhaseSummary struct {
+	Name         string          `json:"name"`
+	Count        int64           `json:"count"`
+	TotalSeconds float64         `json:"total_seconds"`
+	P50Seconds   float64         `json:"p50_seconds"`
+	P95Seconds   float64         `json:"p95_seconds"`
+	P99Seconds   float64         `json:"p99_seconds"`
+	MaxSeconds   float64         `json:"max_seconds"`
+	Imbalance    float64         `json:"imbalance"`
+	PerRank      map[int]float64 `json:"per_rank_seconds,omitempty"`
+}
+
+// BenchEntry matches cmd/benchjson's benchmark entry shape.
+type BenchEntry struct {
+	Name       string             `json:"name"`
+	Pkg        string             `json:"pkg,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// NewManifest starts a manifest for the named command, capturing every
+// parsed flag's resolved value as the run's config.
+func NewManifest(command string) *Manifest {
+	m := &Manifest{
+		Command:   command,
+		Config:    map[string]string{},
+		StartTime: time.Now(),
+	}
+	flag.Visit(func(f *flag.Flag) { m.Config[f.Name] = f.Value.String() })
+	return m
+}
+
+// Finish stamps the end time and folds the server's merged snapshot into
+// the manifest: phases from the duration histograms, counters split into
+// fault and non-fault groups, and the derived benchmark entries.
+func (m *Manifest) Finish(s *Server) {
+	m.EndTime = time.Now()
+	m.WallSeconds = m.EndTime.Sub(m.StartTime).Seconds()
+	snap := s.Gather()
+	m.Ranks = snap.Ranks
+	m.Benchmarks = []BenchEntry{}
+
+	for _, h := range snap.Histograms {
+		if h.Unit != metrics.UnitDuration {
+			continue
+		}
+		ps := PhaseSummary{
+			Name:         h.Name,
+			Count:        h.Count,
+			TotalSeconds: float64(h.Sum) / 1e9,
+			P50Seconds:   float64(h.P50) / 1e9,
+			P95Seconds:   float64(h.P95) / 1e9,
+			P99Seconds:   float64(h.P99) / 1e9,
+			MaxSeconds:   float64(h.Max) / 1e9,
+			Imbalance:    h.Imbalance(),
+		}
+		if len(h.PerRankSum) > 0 {
+			ps.PerRank = map[int]float64{}
+			for r, v := range h.PerRankSum {
+				ps.PerRank[r] = float64(v) / 1e9
+			}
+		}
+		m.Phases = append(m.Phases, ps)
+		if h.Count > 0 {
+			m.Benchmarks = append(m.Benchmarks, BenchEntry{
+				Name:       "Manifest/" + m.Command + "/" + h.Name,
+				Iterations: h.Count,
+				Metrics: map[string]float64{
+					"ns/op":     h.Mean,
+					"p50-ns":    float64(h.P50),
+					"p95-ns":    float64(h.P95),
+					"p99-ns":    float64(h.P99),
+					"max-ns":    float64(h.Max),
+					"imbalance": h.Imbalance(),
+				},
+			})
+		}
+	}
+	sort.Slice(m.Phases, func(i, j int) bool { return m.Phases[i].Name < m.Phases[j].Name })
+
+	for _, c := range snap.Counters {
+		if strings.HasPrefix(c.Name, "fault_") {
+			if m.Faults == nil {
+				m.Faults = map[string]int64{}
+			}
+			m.Faults[c.Name] = c.Total
+			continue
+		}
+		if m.Counters == nil {
+			m.Counters = map[string]int64{}
+		}
+		m.Counters[c.Name] = c.Total
+	}
+	for _, g := range snap.Gauges {
+		if m.Gauges == nil {
+			m.Gauges = map[string]int64{}
+		}
+		// The manifest keeps one value per gauge: the slowest rank's (the
+		// conservative progress indicator).
+		var min int64
+		first := true
+		for _, v := range g.PerRank {
+			if first || v < min {
+				min, first = v, false
+			}
+		}
+		m.Gauges[g.Name] = min
+	}
+	if len(m.Counters) > 0 {
+		counterMetrics := map[string]float64{}
+		for n, v := range m.Counters {
+			counterMetrics[n] = float64(v)
+		}
+		m.Benchmarks = append(m.Benchmarks, BenchEntry{
+			Name:       "Manifest/" + m.Command + "/counters",
+			Iterations: 1,
+			Metrics:    counterMetrics,
+		})
+	}
+	sort.Slice(m.Benchmarks, func(i, j int) bool { return m.Benchmarks[i].Name < m.Benchmarks[j].Name })
+}
+
+// WriteFile writes the manifest as indented JSON.
+func (m *Manifest) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(m); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,80 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func TestManifestFromSnapshot(t *testing.T) {
+	reg := metrics.NewSharded(2)
+	h := reg.Histogram("phase_balance", metrics.UnitDuration)
+	h.ObserveShard(0, 1000)
+	h.ObserveShard(0, 3000)
+	h.ObserveShard(1, 9000)
+	reg.Counter("mpi_msgs_sent").AddShard(0, 11)
+	reg.Counter("fault_drops").AddShard(1, 2)
+	reg.Gauge("step").SetShard(0, 40)
+	reg.Gauge("step").SetShard(1, 38)
+
+	s := NewServer()
+	s.RegisterWorld(reg)
+	m := NewManifest("advect")
+	m.Finish(s)
+
+	if m.Ranks != 2 || m.WallSeconds < 0 {
+		t.Fatalf("manifest header: %+v", m)
+	}
+	if len(m.Phases) != 1 || m.Phases[0].Name != "phase_balance" {
+		t.Fatalf("phases: %+v", m.Phases)
+	}
+	ph := m.Phases[0]
+	if ph.Count != 3 || ph.TotalSeconds != 13000e-9 || ph.MaxSeconds <= 0 {
+		t.Fatalf("phase summary: %+v", ph)
+	}
+	// rank sums 4000 and 9000 → imbalance 9000/6500.
+	wantImb := 9000.0 / 6500.0
+	if d := ph.Imbalance - wantImb; d > 1e-9 || d < -1e-9 {
+		t.Fatalf("imbalance = %v, want %v", ph.Imbalance, wantImb)
+	}
+	if m.Counters["mpi_msgs_sent"] != 11 {
+		t.Fatalf("counters: %v", m.Counters)
+	}
+	if m.Faults["fault_drops"] != 2 {
+		t.Fatalf("faults: %v", m.Faults)
+	}
+	if m.Gauges["step"] != 38 {
+		t.Fatalf("gauges keep the slowest rank: %v", m.Gauges)
+	}
+
+	// Benchmarks must be in benchjson's entry shape.
+	var phaseEntry *BenchEntry
+	for i := range m.Benchmarks {
+		if m.Benchmarks[i].Name == "Manifest/advect/phase_balance" {
+			phaseEntry = &m.Benchmarks[i]
+		}
+	}
+	if phaseEntry == nil || phaseEntry.Iterations != 3 || phaseEntry.Metrics["ns/op"] <= 0 {
+		t.Fatalf("benchmark entries: %+v", m.Benchmarks)
+	}
+
+	// Round-trip through disk.
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Manifest
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("manifest not valid JSON: %v", err)
+	}
+	if back.Command != "advect" || len(back.Benchmarks) != len(m.Benchmarks) {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+}

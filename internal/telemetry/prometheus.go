@@ -1,0 +1,107 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"repro/internal/metrics"
+)
+
+// Prometheus text exposition (format version 0.0.4). Naming conventions:
+//
+//   - every series is prefixed "amr_";
+//   - internal names are sanitized to [a-zA-Z0-9_];
+//   - counters get the "_total" suffix and one series per rank, labeled
+//     {rank="r"} (PromQL sums them; the per-rank split is the imbalance
+//     signal and cannot be recovered from a pre-summed series);
+//   - duration histograms are exported as summaries in seconds
+//     ("amr_phase_balance_seconds{quantile=...}" plus _sum/_count), byte
+//     histograms in bytes; the observed maximum rides along as a separate
+//     "_max" gauge because the summary type has no max slot;
+//   - gauges are exported per rank unscaled.
+
+// sanitizeName maps an internal metric name onto the Prometheus charset.
+func sanitizeName(name string) string {
+	b := []byte(name)
+	for i, c := range b {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+		default:
+			b[i] = '_'
+		}
+	}
+	if len(b) > 0 && b[0] >= '0' && b[0] <= '9' {
+		return "amr_" + string(b)
+	}
+	return string(b)
+}
+
+// histFamily returns the exported family name and the value scale for a
+// histogram of the given unit.
+func histFamily(name string, unit metrics.Unit) (family string, scale float64) {
+	base := "amr_" + sanitizeName(name)
+	switch unit {
+	case metrics.UnitDuration:
+		return base + "_seconds", 1e-9
+	case metrics.UnitBytes:
+		return base + "_bytes", 1
+	}
+	return base, 1
+}
+
+func fmtFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// writePrometheus renders one snapshot in the text exposition format.
+func writePrometheus(w io.Writer, snap Snapshot) {
+	fmt.Fprintf(w, "# HELP amr_up 1 while the telemetry endpoint is serving.\n")
+	fmt.Fprintf(w, "# TYPE amr_up gauge\n")
+	fmt.Fprintf(w, "amr_up 1\n")
+	fmt.Fprintf(w, "# TYPE amr_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "amr_uptime_seconds %s\n", fmtFloat(snap.UptimeSeconds))
+	fmt.Fprintf(w, "# TYPE amr_ranks gauge\n")
+	fmt.Fprintf(w, "amr_ranks %d\n", snap.Ranks)
+
+	for _, c := range snap.Counters {
+		family := "amr_" + sanitizeName(c.Name) + "_total"
+		fmt.Fprintf(w, "# TYPE %s counter\n", family)
+		for _, r := range sortedRanks(c.PerRank) {
+			fmt.Fprintf(w, "%s{rank=\"%d\"} %d\n", family, r, c.PerRank[r])
+		}
+	}
+
+	for _, g := range snap.Gauges {
+		family := "amr_" + sanitizeName(g.Name)
+		fmt.Fprintf(w, "# TYPE %s gauge\n", family)
+		for _, r := range sortedRanks(g.PerRank) {
+			fmt.Fprintf(w, "%s{rank=\"%d\"} %d\n", family, r, g.PerRank[r])
+		}
+	}
+
+	for _, h := range snap.Histograms {
+		family, scale := histFamily(h.Name, h.Unit)
+		fmt.Fprintf(w, "# TYPE %s summary\n", family)
+		for _, q := range []struct {
+			label string
+			v     int64
+		}{{"0.5", h.P50}, {"0.95", h.P95}, {"0.99", h.P99}} {
+			fmt.Fprintf(w, "%s{quantile=\"%s\"} %s\n", family, q.label, fmtFloat(float64(q.v)*scale))
+		}
+		fmt.Fprintf(w, "%s_sum %s\n", family, fmtFloat(float64(h.Sum)*scale))
+		fmt.Fprintf(w, "%s_count %d\n", family, h.Count)
+		fmt.Fprintf(w, "# TYPE %s_max gauge\n", family)
+		fmt.Fprintf(w, "%s_max %s\n", family, fmtFloat(float64(h.Max)*scale))
+	}
+}
+
+func sortedRanks(m map[int]int64) []int {
+	out := make([]int, 0, len(m))
+	for r := range m {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,81 @@
+package telemetry
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files")
+
+// goldenSnapshot builds a fully deterministic snapshot: all histogram
+// observations fall in the exact bucket region (< 16), so quantiles are
+// bit-exact and the rendered text can be compared verbatim.
+func goldenSnapshot() Snapshot {
+	reg := metrics.NewSharded(2)
+	c := reg.Counter("mpi_msgs_sent")
+	c.AddShard(0, 10)
+	c.AddShard(1, 32)
+	g := reg.Gauge("step")
+	g.SetShard(0, 7)
+	g.SetShard(1, 7)
+	h := reg.Histogram("phase_balance", metrics.UnitDuration)
+	for i := int64(1); i <= 10; i++ {
+		h.ObserveShard(0, i)
+	}
+	for i := int64(1); i <= 10; i++ {
+		h.ObserveShard(1, 2*i)
+	}
+	b := reg.Histogram("ghost_bytes", metrics.UnitBytes)
+	b.ObserveShard(0, 8)
+	b.ObserveShard(1, 12)
+
+	s := NewServer()
+	s.RegisterWorld(reg)
+	snap := s.Gather()
+	snap.UptimeSeconds = 1.5 // pin the only wall-clock-dependent field
+	return snap
+}
+
+func TestPrometheusGolden(t *testing.T) {
+	var sb strings.Builder
+	writePrometheus(&sb, goldenSnapshot())
+	got := sb.String()
+
+	path := filepath.Join("testdata", "metrics.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-golden to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("prometheus text drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestSanitizeName(t *testing.T) {
+	cases := map[string]string{
+		"phase_balance":   "phase_balance",
+		"recv:ghost":      "recv_ghost",
+		"solve.rk4":       "solve_rk4",
+		"9lives":          "amr_9lives",
+		"fault_drops":     "fault_drops",
+		"with space-dash": "with_space_dash",
+	}
+	for in, want := range cases {
+		if got := sanitizeName(in); got != want {
+			t.Errorf("sanitizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

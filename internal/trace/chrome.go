@@ -61,8 +61,9 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		}
 	}
 	for r, rt := range t.ranks {
-		for i := range rt.events {
-			ev := &rt.events[i]
+		events := rt.Events()
+		for i := range events {
+			ev := &events[i]
 			if ev.Dur < 0 {
 				continue
 			}

@@ -45,8 +45,9 @@ func (t *Tracer) Aggregate() []PhaseStat {
 	counts := make(map[key]int)
 	p := len(t.ranks)
 	for r, rt := range t.ranks {
-		for i := range rt.events {
-			ev := &rt.events[i]
+		events := rt.Events()
+		for i := range events {
+			ev := &events[i]
 			if ev.Dur < 0 || ev.Cat == CatWait {
 				continue
 			}
@@ -76,6 +77,10 @@ func (t *Tracer) Aggregate() []PhaseStat {
 			st.Total += d
 		}
 		st.Avg = st.Total / time.Duration(p)
+		// A zero-duration phase (clock granularity, or spans that ran but
+		// measured 0) is perfectly balanced by definition; dividing would
+		// produce NaN. Single-rank runs fall out naturally: max == avg.
+		st.Imbalance = 1
 		if st.Avg > 0 {
 			st.Imbalance = float64(st.Max) / float64(st.Avg)
 		}

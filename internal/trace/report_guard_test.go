@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestAggregateGuards drives the report math through the degenerate corner
+// cases — zero-duration phases, single-rank worlds, phases only one rank
+// ran — and checks no statistic comes out NaN or Inf.
+func TestAggregateGuards(t *testing.T) {
+	cases := []struct {
+		name    string
+		ranks   int
+		record  func(tr *Tracer)
+		phase   string
+		wantImb float64
+	}{
+		{
+			// The clock never advances: every span measures 0.
+			name:  "zero duration phase",
+			ranks: 2,
+			record: func(tr *Tracer) {
+				tr.now = func() time.Duration { return 0 }
+				tr.Rank(0).Span("ghost", func() {})
+				tr.Rank(1).Span("ghost", func() {})
+			},
+			phase:   "ghost",
+			wantImb: 1,
+		},
+		{
+			name:  "single rank run",
+			ranks: 1,
+			record: func(tr *Tracer) {
+				fakeClock(tr, time.Millisecond)
+				tr.Rank(0).Span("solve", func() {})
+			},
+			phase:   "solve",
+			wantImb: 1,
+		},
+		{
+			name:  "single rank zero duration",
+			ranks: 1,
+			record: func(tr *Tracer) {
+				tr.now = func() time.Duration { return 0 }
+				tr.Rank(0).Span("nodes", func() {})
+			},
+			phase:   "nodes",
+			wantImb: 1,
+		},
+		{
+			// Only rank 0 runs the phase: the other ranks count as zero, so
+			// imbalance is max/avg = p.
+			name:  "phase on one rank of four",
+			ranks: 4,
+			record: func(tr *Tracer) {
+				fakeClock(tr, time.Millisecond)
+				tr.Rank(0).Span("refine", func() {})
+			},
+			phase:   "refine",
+			wantImb: 4,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := New(tc.ranks)
+			tc.record(tr)
+			st, ok := tr.Phase(tc.phase)
+			if !ok {
+				t.Fatalf("phase %q missing", tc.phase)
+			}
+			for what, v := range map[string]float64{
+				"imbalance": st.Imbalance, "waitshare": st.WaitShare,
+			} {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("%s is %v", what, v)
+				}
+			}
+			if st.Imbalance != tc.wantImb {
+				t.Fatalf("imbalance = %v, want %v", st.Imbalance, tc.wantImb)
+			}
+			if st.WaitShare < 0 || st.WaitShare > 1 {
+				t.Fatalf("waitshare = %v out of [0,1]", st.WaitShare)
+			}
+			// The rendered report must not contain NaN/Inf either.
+			var sb strings.Builder
+			if err := tr.WriteReport(&sb); err != nil {
+				t.Fatal(err)
+			}
+			if strings.Contains(sb.String(), "NaN") || strings.Contains(sb.String(), "Inf") {
+				t.Fatalf("report contains NaN/Inf:\n%s", sb.String())
+			}
+		})
+	}
+}

@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/raceflag"
+)
+
+func TestRingKeepsNewest(t *testing.T) {
+	tr := NewRing(1, 4)
+	fakeClock(tr, time.Millisecond)
+	r := tr.Rank(0)
+	for i := 0; i < 10; i++ {
+		r.Span(fmt.Sprintf("s%d", i), func() {})
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring kept %d events, want 4", len(evs))
+	}
+	// The newest four spans, oldest first.
+	for i, want := range []string{"s6", "s7", "s8", "s9"} {
+		if evs[i].Name != want {
+			t.Fatalf("evs[%d] = %q, want %q (all: %v)", i, evs[i].Name, want, evs)
+		}
+	}
+	// Chronological order within the window.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Start < evs[i-1].Start {
+			t.Fatalf("events out of order at %d: %v", i, evs)
+		}
+	}
+}
+
+func TestRingNestingWaitAndArgs(t *testing.T) {
+	tr := NewRing(1, 16)
+	fakeClock(tr, time.Millisecond)
+	r := tr.Rank(0)
+	r.Begin("outer")
+	r.BeginCat("coll", CatComm)
+	r.Arg("bytes", 128)
+	r.AddWait("recv", time.Millisecond)
+	r.End()
+	r.Mark("fault_drop", CatFault)
+	r.End()
+
+	byName := map[string]Event{}
+	for _, ev := range r.Events() {
+		byName[ev.Name] = ev
+	}
+	outer, coll := byName["outer"], byName["coll"]
+	if outer.Depth != 0 || coll.Depth != 1 {
+		t.Fatalf("depths: outer %d coll %d", outer.Depth, coll.Depth)
+	}
+	if outer.Wait != time.Millisecond || coll.Wait != time.Millisecond {
+		t.Fatalf("wait attribution: outer %v coll %v", outer.Wait, coll.Wait)
+	}
+	if len(coll.Args) != 1 || coll.Args[0] != (Arg{"bytes", 128}) {
+		t.Fatalf("args: %+v", coll.Args)
+	}
+	if w := byName["recv"]; w.Cat != CatWait || w.Dur != time.Millisecond {
+		t.Fatalf("wait leaf: %+v", w)
+	}
+	if m := byName["fault_drop"]; m.Cat != CatFault || m.Dur != 0 {
+		t.Fatalf("mark: %+v", m)
+	}
+	// Aggregate and Chrome export must work on ring tracers.
+	if _, ok := tr.Phase("outer"); !ok {
+		t.Fatal("ring events missing from aggregate")
+	}
+	var sb strings.Builder
+	if err := tr.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "coll") {
+		t.Fatal("ring span missing from chrome export")
+	}
+}
+
+func TestRingSteadyStateAllocFree(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("alloc counts differ under -race")
+	}
+	reg := metrics.NewSharded(1)
+	tr := NewRing(1, 64).WithMetrics(reg)
+	r := tr.Rank(0)
+	// Warm-up inside AllocsPerRun absorbs the lazy histogram shard and
+	// handle-cache fill; steady state must stay at zero.
+	if n := testing.AllocsPerRun(200, func() {
+		r.Begin("step")
+		r.BeginCat("exchange", CatComm)
+		r.End()
+		r.End()
+	}); n != 0 {
+		t.Fatalf("ring recording allocated %v allocs/op, want 0", n)
+	}
+}
+
+func TestWithMetricsBridge(t *testing.T) {
+	reg := metrics.NewSharded(2)
+	tr := New(2).WithMetrics(reg)
+	fakeClock(tr, time.Millisecond)
+	for rank := 0; rank < 2; rank++ {
+		rt := tr.Rank(rank)
+		rt.Span("balance", func() {})
+		rt.Span("balance", func() {})
+		rt.AddWait("recv", time.Millisecond) // CatWait: must not become a phase histogram
+	}
+	h := reg.Histogram("phase_balance", metrics.UnitDuration)
+	if h.Count() != 4 {
+		t.Fatalf("bridge observed %d spans, want 4", h.Count())
+	}
+	if h.CountShard(0) != 2 || h.CountShard(1) != 2 {
+		t.Fatalf("per-shard counts %d/%d, want 2/2", h.CountShard(0), h.CountShard(1))
+	}
+	if got := h.Snapshot(); got.Min <= 0 {
+		t.Fatalf("bridge recorded nonpositive duration: %+v", got)
+	}
+	for _, hh := range reg.Histograms() {
+		if strings.Contains(hh.Name(), "recv") {
+			t.Fatalf("wait span leaked into phase histograms: %s", hh.Name())
+		}
+	}
+}

@@ -22,7 +22,11 @@
 //     across ranks of one run.
 package trace
 
-import "time"
+import (
+	"time"
+
+	"repro/internal/metrics"
+)
 
 // Category classifies a span for export and wait attribution.
 type Category uint8
@@ -87,13 +91,20 @@ const waitEventMin = 20 * time.Microsecond
 // Tracer owns the per-rank buffers of one traced run. Create it with New
 // sized to the world, hand it to mpi.RunTraced, and read it (export,
 // aggregate) only after the run has completed.
+//
+// A Tracer comes in two storage modes. New keeps every span (offline
+// Chrome-trace export of a bounded run); NewRing keeps only the most
+// recent spans per rank in a fixed circular buffer, making it safe to
+// leave on for arbitrarily long runs — the mode the crash flight recorder
+// uses. Both modes feed the same export, aggregation, and metrics paths.
 type Tracer struct {
 	epoch time.Time
 	now   func() time.Duration // monotonic clock; replaced by tests
 	ranks []*RankTracer
+	met   *metrics.Registry
 }
 
-// New returns a Tracer with one span buffer per rank.
+// New returns a Tracer with one unbounded span buffer per rank.
 func New(numRanks int) *Tracer {
 	if numRanks < 1 {
 		panic("trace: numRanks < 1")
@@ -107,6 +118,54 @@ func New(numRanks int) *Tracer {
 			rank:   i,
 			events: make([]Event, 0, 4096),
 			stack:  make([]int, 0, 16),
+		}
+	}
+	return t
+}
+
+// NewRing returns a Tracer that retains only the newest capPerRank
+// completed events per rank, overwriting the oldest. Steady-state
+// recording does not allocate: open spans live on a reusable stack and
+// completed spans are assigned into the preallocated ring.
+func NewRing(numRanks, capPerRank int) *Tracer {
+	if numRanks < 1 {
+		panic("trace: numRanks < 1")
+	}
+	if capPerRank < 1 {
+		capPerRank = 1
+	}
+	t := &Tracer{epoch: time.Now()}
+	t.now = func() time.Duration { return time.Since(t.epoch) }
+	t.ranks = make([]*RankTracer, numRanks)
+	for i := range t.ranks {
+		t.ranks[i] = &RankTracer{
+			tracer: t,
+			rank:   i,
+			ring:   make([]Event, capPerRank),
+			open:   make([]openSpan, 0, 16),
+		}
+	}
+	return t
+}
+
+// WithMetrics attaches a registry: from then on every completed CatPhase
+// and CatComm span is also observed into the duration histogram
+// "phase_<name>" at the shard of the recording rank. Each rank caches its
+// histogram handles, so the steady-state cost is one map hit and a few
+// atomic adds per span. Returns t for chaining; nil-safe.
+func (t *Tracer) WithMetrics(reg *metrics.Registry) *Tracer {
+	if t == nil || reg == nil {
+		return t
+	}
+	t.met = reg
+	for _, rt := range t.ranks {
+		rt.met = reg
+		rt.metShard = rt.rank
+		if rt.metShard >= reg.Shards() {
+			rt.metShard = 0
+		}
+		if rt.histCache == nil {
+			rt.histCache = make(map[string]*metrics.Histogram, 16)
 		}
 	}
 	return t
@@ -129,14 +188,66 @@ func (t *Tracer) Rank(r int) *RankTracer {
 	return t.ranks[r]
 }
 
+// openSpan is a ring-mode span that has begun but not ended. Ring mode
+// cannot keep index references into the circular buffer (entries get
+// overwritten), so open spans live on their own stack and only completed
+// spans enter the ring.
+type openSpan struct {
+	Name  string
+	Cat   Category
+	Start time.Duration
+	Wait  time.Duration
+	Args  []Arg
+}
+
 // RankTracer records the spans of one rank goroutine. It must only be used
 // by the goroutine that owns the rank; this is what makes the hot path
 // lock-free.
 type RankTracer struct {
 	tracer *Tracer
 	rank   int
+
+	// Unbounded mode (New): append-only event buffer plus an index stack.
 	events []Event
 	stack  []int // indices into events of the currently open spans
+
+	// Ring mode (NewRing): fixed circular buffer of completed events.
+	ring     []Event
+	ringHead int // index of the oldest retained event
+	ringLen  int
+	open     []openSpan
+
+	// Metrics bridge (WithMetrics): per-rank handle cache, written only by
+	// the owning goroutine.
+	met       *metrics.Registry
+	metShard  int
+	histCache map[string]*metrics.Histogram
+}
+
+// observe feeds a completed span into the attached metrics registry.
+// CatWait spans are excluded: their time is attributed separately (the
+// runtime records receive waits into its own histogram).
+func (r *RankTracer) observe(name string, cat Category, d time.Duration) {
+	if r.met == nil || cat == CatWait {
+		return
+	}
+	h := r.histCache[name]
+	if h == nil {
+		h = r.met.Histogram("phase_"+name, metrics.UnitDuration)
+		r.histCache[name] = h
+	}
+	h.ObserveDurationShard(r.metShard, d)
+}
+
+// push appends a completed event to the ring, overwriting the oldest.
+func (r *RankTracer) push(ev Event) {
+	if r.ringLen < len(r.ring) {
+		r.ring[(r.ringHead+r.ringLen)%len(r.ring)] = ev
+		r.ringLen++
+		return
+	}
+	r.ring[r.ringHead] = ev
+	r.ringHead = (r.ringHead + 1) % len(r.ring)
 }
 
 // Rank returns the owning rank id.
@@ -156,6 +267,10 @@ func (r *RankTracer) BeginCat(name string, cat Category) {
 	if r == nil {
 		return
 	}
+	if r.ring != nil {
+		r.open = append(r.open, openSpan{Name: name, Cat: cat, Start: r.tracer.now()})
+		return
+	}
 	r.events = append(r.events, Event{
 		Name:  name,
 		Cat:   cat,
@@ -169,13 +284,38 @@ func (r *RankTracer) BeginCat(name string, cat Category) {
 // End closes the innermost open span. End on a nil tracer or an empty
 // stack is a no-op.
 func (r *RankTracer) End() {
-	if r == nil || len(r.stack) == 0 {
+	if r == nil {
+		return
+	}
+	if r.ring != nil {
+		n := len(r.open)
+		if n == 0 {
+			return
+		}
+		sp := &r.open[n-1]
+		dur := r.tracer.now() - sp.Start
+		r.observe(sp.Name, sp.Cat, dur)
+		r.push(Event{
+			Name:  sp.Name,
+			Cat:   sp.Cat,
+			Start: sp.Start,
+			Dur:   dur,
+			Depth: n - 1,
+			Wait:  sp.Wait,
+			Args:  sp.Args,
+		})
+		r.open[n-1] = openSpan{}
+		r.open = r.open[:n-1]
+		return
+	}
+	if len(r.stack) == 0 {
 		return
 	}
 	i := r.stack[len(r.stack)-1]
 	r.stack = r.stack[:len(r.stack)-1]
 	ev := &r.events[i]
 	ev.Dur = r.tracer.now() - ev.Start
+	r.observe(ev.Name, ev.Cat, ev.Dur)
 }
 
 // Span runs fn inside a span. The span closes even if fn panics.
@@ -206,7 +346,18 @@ func (r *RankTracer) StartSpan(name string) func() {
 // Arg annotates the innermost open span with a key/value pair (exported
 // into the Chrome trace's args).
 func (r *RankTracer) Arg(key string, v int64) {
-	if r == nil || len(r.stack) == 0 {
+	if r == nil {
+		return
+	}
+	if r.ring != nil {
+		if len(r.open) == 0 {
+			return
+		}
+		sp := &r.open[len(r.open)-1]
+		sp.Args = append(sp.Args, Arg{Key: key, Val: v})
+		return
+	}
+	if len(r.stack) == 0 {
 		return
 	}
 	ev := &r.events[r.stack[len(r.stack)-1]]
@@ -219,6 +370,22 @@ func (r *RankTracer) Arg(key string, v int64) {
 // also emitted as a leaf CatWait span.
 func (r *RankTracer) AddWait(name string, d time.Duration) {
 	if r == nil || d <= 0 {
+		return
+	}
+	if r.ring != nil {
+		for i := range r.open {
+			r.open[i].Wait += d
+		}
+		if d >= waitEventMin {
+			end := r.tracer.now()
+			r.push(Event{
+				Name:  name,
+				Cat:   CatWait,
+				Start: end - d,
+				Dur:   d,
+				Depth: len(r.open),
+			})
+		}
 		return
 	}
 	for _, i := range r.stack {
@@ -245,6 +412,15 @@ func (r *RankTracer) Mark(name string, cat Category) {
 	if r == nil {
 		return
 	}
+	if r.ring != nil {
+		r.push(Event{
+			Name:  name,
+			Cat:   cat,
+			Start: r.tracer.now(),
+			Depth: len(r.open),
+		})
+		return
+	}
 	r.events = append(r.events, Event{
 		Name:  name,
 		Cat:   cat,
@@ -253,11 +429,20 @@ func (r *RankTracer) Mark(name string, cat Category) {
 	})
 }
 
-// Events returns the rank's recorded spans. Only call it after the rank
-// goroutine has finished; the returned slice aliases the live buffer.
+// Events returns the rank's recorded spans, oldest first. Only call it
+// after the rank goroutine has finished. In unbounded mode the returned
+// slice aliases the live buffer; in ring mode it is a fresh copy of the
+// retained window.
 func (r *RankTracer) Events() []Event {
 	if r == nil {
 		return nil
+	}
+	if r.ring != nil {
+		out := make([]Event, 0, r.ringLen)
+		for i := 0; i < r.ringLen; i++ {
+			out = append(out, r.ring[(r.ringHead+i)%len(r.ring)])
+		}
+		return out
 	}
 	return r.events
 }
