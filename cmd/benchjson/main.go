@@ -32,10 +32,16 @@ import (
 )
 
 type entry struct {
-	Name       string             `json:"name"`
-	Pkg        string             `json:"pkg,omitempty"`
-	Iterations int64              `json:"iterations"`
-	Metrics    map[string]float64 `json:"metrics"`
+	Name       string `json:"name"`
+	Pkg        string `json:"pkg,omitempty"`
+	Iterations int64  `json:"iterations"`
+	// Procs is the GOMAXPROCS the benchmark ran under, split off the
+	// name's "-N" suffix (1 when the suffix is absent, per `go test`
+	// convention). Scaling comparisons need it as a first-class field:
+	// "AdvectStep/P8/overlap/shm" at 1 proc and at 8 procs are different
+	// experiments that previously collided under one name.
+	Procs   int                `json:"procs"`
+	Metrics map[string]float64 `json:"metrics"`
 }
 
 type record struct {
@@ -85,6 +91,9 @@ func main() {
 			rec.Context[m.Command+".ranks"] = strconv.Itoa(m.Ranks)
 			for _, e := range m.Benchmarks {
 				e.Pkg = "manifest:" + m.Command
+				if e.Procs == 0 {
+					e.Procs = 1 // manifests predate the procs field
+				}
 				rec.Benchmarks = append(rec.Benchmarks, e)
 			}
 		}
@@ -136,8 +145,10 @@ func emit(rec record) {
 	}
 }
 
-// parseBench splits "Name-P iters v1 u1 v2 u2 ..." into an entry; the -P
-// GOMAXPROCS suffix is kept as part of the name.
+// parseBench splits "Name-P iters v1 u1 v2 u2 ..." into an entry. The
+// trailing "-P" GOMAXPROCS suffix (appended by `go test` whenever
+// GOMAXPROCS > 1) is split into the Procs field, benchstat-style, so the
+// same benchmark at different processor counts keeps one name.
 func parseBench(line string) (entry, error) {
 	f := strings.Fields(line)
 	if len(f) < 2 {
@@ -147,7 +158,8 @@ func parseBench(line string) (entry, error) {
 	if err != nil {
 		return entry{}, fmt.Errorf("iterations: %v", err)
 	}
-	e := entry{Name: f[0], Iterations: iters, Metrics: map[string]float64{}}
+	name, procs := splitProcs(f[0])
+	e := entry{Name: name, Procs: procs, Iterations: iters, Metrics: map[string]float64{}}
 	rest := f[2:]
 	if len(rest)%2 != 0 {
 		return entry{}, fmt.Errorf("odd value/unit tail")
@@ -160,4 +172,19 @@ func parseBench(line string) (entry, error) {
 		e.Metrics[rest[i+1]] = v
 	}
 	return e, nil
+}
+
+// splitProcs strips a trailing "-N" (N a positive integer) off a benchmark
+// name and returns the bare name with N; names without the suffix ran at
+// GOMAXPROCS=1, where `go test` omits it.
+func splitProcs(name string) (string, int) {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name, 1
+	}
+	n, err := strconv.Atoi(name[i+1:])
+	if err != nil || n <= 0 {
+		return name, 1
+	}
+	return name[:i], n
 }

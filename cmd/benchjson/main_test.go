@@ -1,0 +1,82 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseBench(t *testing.T) {
+	cases := []struct {
+		name string
+		line string
+		want entry
+	}{
+		{
+			name: "no procs suffix (GOMAXPROCS=1)",
+			line: "BenchmarkPREM 1000000 1234 ns/op",
+			want: entry{Name: "BenchmarkPREM", Procs: 1, Iterations: 1000000,
+				Metrics: map[string]float64{"ns/op": 1234}},
+		},
+		{
+			name: "procs suffix split off",
+			line: "BenchmarkAdvectStep/P8/overlap/shm-16 100 2345678 ns/op 42 B/op 3 allocs/op",
+			want: entry{Name: "BenchmarkAdvectStep/P8/overlap/shm", Procs: 16, Iterations: 100,
+				Metrics: map[string]float64{"ns/op": 2345678, "B/op": 42, "allocs/op": 3}},
+		},
+		{
+			name: "dash inside sub-bench name, no suffix",
+			line: "BenchmarkFoo/pre-balance 50 9.5 ns/op",
+			want: entry{Name: "BenchmarkFoo/pre-balance", Procs: 1, Iterations: 50,
+				Metrics: map[string]float64{"ns/op": 9.5}},
+		},
+		{
+			name: "dash inside sub-bench name with suffix",
+			line: "BenchmarkFoo/pre-balance-4 50 9.5 ns/op",
+			want: entry{Name: "BenchmarkFoo/pre-balance", Procs: 4, Iterations: 50,
+				Metrics: map[string]float64{"ns/op": 9.5}},
+		},
+		{
+			name: "custom metric units",
+			line: "BenchmarkSeismicStep/P2/overlap/chan-2 7 1.5e7 ns/op 0.31 bndfrac",
+			want: entry{Name: "BenchmarkSeismicStep/P2/overlap/chan", Procs: 2, Iterations: 7,
+				Metrics: map[string]float64{"ns/op": 1.5e7, "bndfrac": 0.31}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := parseBench(tc.line)
+			if err != nil {
+				t.Fatalf("parseBench(%q): %v", tc.line, err)
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("parseBench(%q)\n got %+v\nwant %+v", tc.line, got, tc.want)
+			}
+		})
+	}
+
+	for _, bad := range []string{"BenchmarkX", "BenchmarkX abc 1 ns/op", "BenchmarkX 10 5"} {
+		if _, err := parseBench(bad); err == nil {
+			t.Errorf("parseBench(%q) should fail", bad)
+		}
+	}
+}
+
+func TestSplitProcs(t *testing.T) {
+	cases := []struct {
+		in    string
+		name  string
+		procs int
+	}{
+		{"BenchmarkX-8", "BenchmarkX", 8},
+		{"BenchmarkX", "BenchmarkX", 1},
+		{"BenchmarkX-0", "BenchmarkX-0", 1},   // zero is not a procs count
+		{"BenchmarkX--4", "BenchmarkX-", 4},   // last dash wins
+		{"BenchmarkX-a4", "BenchmarkX-a4", 1}, // non-numeric tail stays
+	}
+	for _, tc := range cases {
+		name, procs := splitProcs(tc.in)
+		if name != tc.name || procs != tc.procs {
+			t.Errorf("splitProcs(%q) = (%q, %d), want (%q, %d)", tc.in, name, procs, tc.name, tc.procs)
+		}
+	}
+}

@@ -52,6 +52,9 @@ func saveLeaves(path string, numTrees int32, all []octant.Octant) error {
 	if ferr := w.Flush(); err == nil && ferr != nil {
 		err = fmt.Errorf("core: flushing checkpoint %s: %w", path, ferr)
 	}
+	if serr := fileSync(file); err == nil && serr != nil {
+		err = fmt.Errorf("core: syncing checkpoint %s: %w", path, serr)
+	}
 	if cerr := file.Close(); err == nil && cerr != nil {
 		err = fmt.Errorf("core: closing checkpoint %s: %w", path, cerr)
 	}
@@ -60,6 +63,30 @@ func saveLeaves(path string, numTrees int32, all []octant.Octant) error {
 		return err
 	}
 	return nil
+}
+
+// fileSync forces a written checkpoint to stable storage before it is
+// closed and renamed into place: without the fsync, a crash after the
+// rename can leave a checkpoint whose name says "complete" but whose
+// blocks never hit the disk — the exact corruption the atomic-rename
+// protocol exists to rule out. A variable so tests can inject sync
+// failures and pin that they propagate.
+var fileSync = func(f *os.File) error { return f.Sync() }
+
+// SyncDir fsyncs a directory, making a just-renamed checkpoint's
+// directory entry durable. Failures are reported, not fatal: some
+// filesystems refuse directory fsync, and the rename itself succeeded.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
 }
 
 func writeLeaves(w io.Writer, numTrees int32, all []octant.Octant) error {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/connectivity"
@@ -133,7 +134,7 @@ func TestCheckpointRejectsCorruption(t *testing.T) {
 		{"level out of range", func(b []byte) []byte { putI32(b, checkpointHeader+16, 99); return b }},
 		{"negative level", func(b []byte) []byte { putI32(b, checkpointHeader+16, -1); return b }},
 		{"negative tree id", func(b []byte) []byte { putI32(b, checkpointHeader, -3); return b }},
-		{"tree id past connectivity", func(b []byte) []byte { putI32(b, checkpointHeader, 1 << 20); return b }},
+		{"tree id past connectivity", func(b []byte) []byte { putI32(b, checkpointHeader, 1<<20); return b }},
 		{"leaves out of order", func(b []byte) []byte {
 			a := checkpointHeader
 			z := len(b) - leafRecBytes
@@ -206,3 +207,45 @@ func TestSavePropagatesWriteErrors(t *testing.T) {
 type failingWriter struct{}
 
 func (failingWriter) Write(p []byte) (int, error) { return 0, errors.New("sink closed") }
+
+// TestSavePropagatesSyncErrors pins the fsync half of the durability
+// satellite: the written checkpoint is forced to stable storage before
+// close/rename, and an fsync failure surfaces on every rank — with the
+// partial file removed — for both the forest and the field writers.
+func TestSavePropagatesSyncErrors(t *testing.T) {
+	orig := fileSync
+	fileSync = func(*os.File) error { return errors.New("sync: device lost") }
+	defer func() { fileSync = orig }()
+
+	conn := connectivity.UnitCube()
+	base := t.TempDir()
+	mpi.Run(2, func(c *mpi.Comm) {
+		f := New(c, conn, 1)
+		fp := filepath.Join(base, "forest.ckpt")
+		if err := f.Save(fp); err == nil || !strings.Contains(err.Error(), "sync") {
+			t.Errorf("rank %d: forest save must propagate fsync failure, got %v", c.Rank(), err)
+		}
+		if _, serr := os.Stat(fp); serr == nil {
+			t.Errorf("rank %d: unsynced forest checkpoint left behind", c.Rank())
+		}
+		dp := filepath.Join(base, "fields.ckpt")
+		data := make([]float64, f.NumLocal()*3)
+		if err := f.SaveFields(dp, 3, FieldMeta{}, data); err == nil || !strings.Contains(err.Error(), "sync") {
+			t.Errorf("rank %d: field save must propagate fsync failure, got %v", c.Rank(), err)
+		}
+		if _, serr := os.Stat(dp); serr == nil {
+			t.Errorf("rank %d: unsynced field checkpoint left behind", c.Rank())
+		}
+	})
+}
+
+// TestSyncDir pins the directory-durability helper: syncing a real
+// directory succeeds, syncing a missing one reports the error.
+func TestSyncDir(t *testing.T) {
+	if err := SyncDir(t.TempDir()); err != nil {
+		t.Errorf("SyncDir on a real directory: %v", err)
+	}
+	if err := SyncDir(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Error("SyncDir on a missing directory succeeded")
+	}
+}

@@ -68,6 +68,9 @@ func saveFieldParts(path string, valsPerElem int, totalElems int64, meta FieldMe
 	if ferr := w.Flush(); err == nil && ferr != nil {
 		err = fmt.Errorf("core: flushing field checkpoint %s: %w", path, ferr)
 	}
+	if serr := fileSync(file); err == nil && serr != nil {
+		err = fmt.Errorf("core: syncing field checkpoint %s: %w", path, serr)
+	}
 	if cerr := file.Close(); err == nil && cerr != nil {
 		err = fmt.Errorf("core: closing field checkpoint %s: %w", path, cerr)
 	}

@@ -44,11 +44,14 @@ type Obs struct {
 	Tracer *trace.Tracer
 	World  *metrics.Registry
 	OnRank func(name string, rank int, met *metrics.Registry)
+	// Transport selects the message-runtime fabric backend ("chan",
+	// "shm"); empty means the process default (AMR_TRANSPORT, else chan).
+	Transport string
 }
 
 // runOptions translates the hooks into message-runtime run options.
 func (o Obs) runOptions() mpi.RunOptions {
-	return mpi.RunOptions{Tracer: o.Tracer, Metrics: o.World}
+	return mpi.RunOptions{Tracer: o.Tracer, Metrics: o.World, Transport: o.Transport}
 }
 
 // rank invokes the per-rank registry callback if one is set.

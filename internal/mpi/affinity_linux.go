@@ -1,0 +1,56 @@
+//go:build linux
+
+package mpi
+
+import (
+	"sync"
+	"syscall"
+	"unsafe"
+)
+
+// Best-effort CPU placement for the shm transport's pinned rank threads:
+// ranks are laid round-robin over the CPUs the process is allowed to use,
+// so on a dedicated node P ranks land on P distinct cores (and on a
+// cgroup-restricted host they share whatever the mask grants). Failures
+// are ignored — placement is a performance hint, never a correctness
+// requirement, and the conformance suite runs identically without it.
+
+const cpuMaskWords = 1024 / 64
+
+var cpuSet struct {
+	once    sync.Once
+	allowed []int
+}
+
+func allowedCPUs() []int {
+	cpuSet.once.Do(func() {
+		var mask [cpuMaskWords]uint64
+		_, _, errno := syscall.RawSyscall(syscall.SYS_SCHED_GETAFFINITY,
+			0, uintptr(len(mask)*8), uintptr(unsafe.Pointer(&mask[0])))
+		if errno != 0 {
+			return
+		}
+		for i, w := range mask {
+			for b := 0; b < 64; b++ {
+				if w&(1<<uint(b)) != 0 {
+					cpuSet.allowed = append(cpuSet.allowed, i*64+b)
+				}
+			}
+		}
+	})
+	return cpuSet.allowed
+}
+
+// pinThread binds the calling locked OS thread to one allowed CPU chosen
+// by rank. Must run after runtime.LockOSThread on the rank's own thread.
+func pinThread(rank int) {
+	allowed := allowedCPUs()
+	if len(allowed) == 0 {
+		return
+	}
+	cpu := allowed[rank%len(allowed)]
+	var mask [cpuMaskWords]uint64
+	mask[cpu/64] = 1 << (uint(cpu) % 64)
+	syscall.RawSyscall(syscall.SYS_SCHED_SETAFFINITY,
+		0, uintptr(len(mask)*8), uintptr(unsafe.Pointer(&mask[0])))
+}

@@ -1,0 +1,7 @@
+//go:build !linux
+
+package mpi
+
+// pinThread is a no-op off Linux: ranks still get dedicated locked OS
+// threads, only the explicit CPU placement hint is unavailable.
+func pinThread(rank int) {}

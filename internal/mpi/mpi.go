@@ -1,7 +1,9 @@
 // Package mpi provides an in-process SPMD message-passing runtime that
-// substitutes for MPI in the p4est/mangll reproduction. Each rank runs as a
-// goroutine inside a World; ranks communicate through tagged point-to-point
-// messages and collectives built on top of them.
+// substitutes for MPI in the p4est/mangll reproduction. Each rank runs
+// inside a World on a vehicle chosen by the world's Transport — a plain
+// goroutine ("chan", the default) or a LockOSThread-pinned OS thread with
+// lock-free rings between peers ("shm") — and ranks communicate through
+// tagged point-to-point messages and collectives built on top of them.
 //
 // The interface deliberately mirrors the subset of MPI that the paper's
 // algorithms use (point-to-point transfer of octants, MPI_Allgather of one
@@ -46,14 +48,16 @@ const (
 	tagSparseDown = -12 // SparseExchange discovery: scatter of source lists
 )
 
-// World owns the mailboxes and statistics for a set of ranks.
+// World owns the transport fabric and statistics for a set of ranks.
 type World struct {
-	size   int
-	boxes  []*mailbox
-	stats  []Stats
-	tracer *trace.Tracer // optional; nil disables span recording
-	faults *faultState   // optional; nil runs the zero-overhead path
-	met    *worldMetrics // optional; nil disables live metric recording
+	size    int
+	fab     fabric
+	inboxes []inbox // fab.inbox(r) resolved once; hot-path indexed
+	tpName  string
+	stats   []Stats
+	tracer  *trace.Tracer // optional; nil disables span recording
+	faults  *faultState   // optional; nil runs the zero-overhead path
+	met     *worldMetrics // optional; nil disables live metric recording
 
 	// aborted flips when a rank dies (panic or injected crash). Blocked
 	// receivers observe it and unwind instead of deadlocking on messages
@@ -67,11 +71,7 @@ func (w *World) abort() {
 	if !w.aborted.CompareAndSwap(false, true) {
 		return
 	}
-	for _, b := range w.boxes {
-		b.mu.Lock()
-		b.cond.Broadcast()
-		b.mu.Unlock()
-	}
+	w.fab.wake()
 }
 
 // Comm is one rank's handle to the world. It is not safe for concurrent use
@@ -93,6 +93,9 @@ func (c *Comm) Rank() int { return c.rank }
 
 // Size returns the number of ranks in the communicator.
 func (c *Comm) Size() int { return c.world.size }
+
+// Transport returns the name of the backend this world runs on.
+func (c *Comm) Transport() string { return c.world.tpName }
 
 // Tracer returns the calling rank's span recorder, or nil when the world
 // runs untraced. All trace.RankTracer methods are nil-safe, so callers may
@@ -148,24 +151,31 @@ func runErr(size int, opts RunOptions, fn func(*Comm) error) error {
 	if tr != nil && tr.NumRanks() != size {
 		return fmt.Errorf("mpi: tracer has %d ranks, world has %d", tr.NumRanks(), size)
 	}
-	w := &World{size: size, tracer: tr}
+	tp, err := TransportByName(opts.Transport)
+	if err != nil {
+		return err
+	}
+	w := &World{size: size, tracer: tr, tpName: tp.Name()}
 	if opts.Metrics != nil {
 		w.met = newWorldMetrics(opts.Metrics, plan != nil)
 	}
 	if plan != nil {
 		w.faults = newFaultState(plan, size, w.met)
 	}
-	w.boxes = make([]*mailbox, size)
-	w.stats = make([]Stats, size)
-	for i := range w.boxes {
-		w.boxes[i] = newMailbox(w)
+	w.fab = tp.newFabric(w)
+	defer w.fab.close()
+	w.inboxes = make([]inbox, size)
+	for i := range w.inboxes {
+		w.inboxes[i] = w.fab.inbox(i)
 	}
+	w.stats = make([]Stats, size)
 	errs := make([]error, size)
 	panics := make([]any, size)
 	var wg sync.WaitGroup
 	wg.Add(size)
 	for r := 0; r < size; r++ {
-		go func(rank int) {
+		rank := r
+		w.fab.launch(rank, func() {
 			defer wg.Done()
 			defer func() {
 				p := recover()
@@ -184,13 +194,15 @@ func runErr(size int, opts RunOptions, fn func(*Comm) error) error {
 				w.abort()
 			}()
 			errs[rank] = fn(&Comm{world: w, rank: rank})
-		}(r)
+		})
 	}
 	wg.Wait()
 	if w.faults != nil {
 		// Join the delayed-delivery timers so no goroutine outlives the
-		// world, then publish the fault counters.
+		// world, drain anything they left in transport buffers, then
+		// publish the fault counters.
 		w.faults.deliveries.Wait()
+		w.fab.flush()
 		w.faults.flushMetrics()
 	}
 	for _, p := range panics {
@@ -213,7 +225,7 @@ type message struct {
 	payload any
 }
 
-// recvSlot is one posted receive. A slot is registered with the mailbox at
+// recvSlot is one posted receive. A slot is registered with the inbox at
 // post time, which fixes its place in the matching order: an arriving
 // message is matched against posted slots in posting order before it is
 // queued. Both blocking Recv and nonblocking Irecv go through slots, so
@@ -226,35 +238,16 @@ type recvSlot struct {
 	msg       message
 }
 
-// mailbox is an unbounded, tag-matched receive queue for one rank. Sends
-// never block (MPI buffered-send semantics), which rules out the send-send
-// deadlocks that the paper's algorithms avoid by protocol design.
-//
-// Invariant: no queued message matches any posted slot. put matches a new
-// message against the posted slots before queueing it, and post matches a
-// new slot against the queue before registering it, so a matching pair can
-// never coexist. take/post therefore need no cross-checks.
+// mailbox is the channel transport's receive endpoint: the matching
+// engine guarded by a mutex, with a condition variable waking blocked
+// receivers. Sends never block (MPI buffered-send semantics), which rules
+// out the send-send deadlocks that the paper's algorithms avoid by
+// protocol design.
 type mailbox struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queue  []message
-	posted []*recvSlot
-	w      *World
-
-	// reorder is the per-source reassembly window of the fault layer
-	// (nil without a plan): it restores per-link send order and
-	// exactly-once delivery before a message reaches the matching engine,
-	// so injected drops, duplicates, and reorderings are invisible to the
-	// FIFO and non-overtaking guarantees above.
-	reorder []linkRecv
-}
-
-// linkRecv tracks one incoming link's reassembly: the next expected
-// sequence number and any out-of-order arrivals held back until the gap
-// fills.
-type linkRecv struct {
-	next uint64
-	held map[uint64]message
+	mu   sync.Mutex
+	cond *sync.Cond
+	matcher
+	w *World
 }
 
 func newMailbox(w *World) *mailbox {
@@ -266,95 +259,35 @@ func newMailbox(w *World) *mailbox {
 	return m
 }
 
-// deliverLocked feeds one message into the matching engine (mu held).
-func (m *mailbox) deliverLocked(msg message) {
-	for i, s := range m.posted {
-		if s.tag == msg.tag && (s.from == AnySource || s.from == msg.from) {
-			// Earliest-posted matching receive wins. Shift the tail down
-			// and zero the vacated slot so the backing array drops its
-			// reference to the completed slot.
-			copy(m.posted[i:], m.posted[i+1:])
-			m.posted[len(m.posted)-1] = nil
-			m.posted = m.posted[:len(m.posted)-1]
-			s.msg = msg
-			s.done = true
-			return
-		}
-	}
-	m.queue = append(m.queue, msg)
-}
-
 func (m *mailbox) put(msg message) {
 	m.mu.Lock()
-	m.deliverLocked(msg)
+	m.deliver(msg)
 	m.mu.Unlock()
 	m.cond.Broadcast()
 }
 
 // putSeq is the fault-layer delivery entry point: seq orders the message
-// on its (source -> this rank) link. Duplicates are discarded, gaps hold
-// later messages back, and in-order messages drain the held backlog, so
-// the matching engine observes exactly the fault-free delivery sequence.
-// Runs on sender goroutines and delivery timers, never the receiving
-// rank.
+// on its (source -> this rank) link. Runs on sender goroutines; the
+// channel backend also accepts it from delivery timers (inject).
 func (m *mailbox) putSeq(msg message, seq uint64, f *faultState) {
 	m.mu.Lock()
-	lr := &m.reorder[msg.from]
-	switch {
-	case seq < lr.next:
-		m.mu.Unlock()
-		f.dedup(msg.from)
-		return
-	case seq > lr.next:
-		if lr.held == nil {
-			lr.held = make(map[uint64]message)
-		}
-		if _, dup := lr.held[seq]; dup {
-			m.mu.Unlock()
-			f.dedup(msg.from)
-			return
-		}
-		lr.held[seq] = msg
-		m.mu.Unlock()
-		return
-	}
-	m.deliverLocked(msg)
-	lr.next++
-	for {
-		nm, ok := lr.held[lr.next]
-		if !ok {
-			break
-		}
-		delete(lr.held, lr.next)
-		m.deliverLocked(nm)
-		lr.next++
-	}
+	m.deliverSeq(msg, seq, f)
 	m.mu.Unlock()
 	m.cond.Broadcast()
 }
 
-// post registers a receive for (from, tag). If a matching message is
-// already queued the slot completes immediately (FIFO per channel);
-// otherwise the slot joins the posted list in posting order. The slot must
-// be zeroed (done=false) by the caller before posting.
+// inject is putSeq from off-rank producers (fault-delay timers); the
+// mailbox is mutex-guarded, so the entry points coincide.
+func (m *mailbox) inject(msg message, seq uint64, f *faultState) {
+	m.putSeq(msg, seq, f)
+}
+
+// post registers a receive for (from, tag), completing it immediately if
+// a matching message is queued.
 func (m *mailbox) post(from, tag int, s *recvSlot) {
-	s.from, s.tag = from, tag
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for i, msg := range m.queue {
-		if msg.tag == tag && (from == AnySource || msg.from == from) {
-			// Zero the vacated slot so the backing array drops its
-			// reference to the delivered payload (octant slices must not
-			// stay reachable through drained queues).
-			copy(m.queue[i:], m.queue[i+1:])
-			m.queue[len(m.queue)-1] = message{}
-			m.queue = m.queue[:len(m.queue)-1]
-			s.msg = msg
-			s.done = true
-			return
-		}
-	}
-	m.posted = append(m.posted, s)
+	m.matcher.post(from, tag, s)
 }
 
 // wait blocks until the posted slot completes and returns its message.
@@ -417,7 +350,7 @@ func (c *Comm) send(to, tag int, payload any) {
 		f.send(c, to, msg)
 		return
 	}
-	c.world.boxes[to].put(msg)
+	c.world.inboxes[to].put(msg)
 }
 
 // Recv blocks until a message with the given tag arrives from rank `from`
@@ -430,7 +363,7 @@ func (c *Comm) Recv(from, tag int) (payload any, source int) {
 }
 
 // recv performs the tag-matched blocking receive and accounts for it: the
-// time blocked in the mailbox is the rank's receive-wait (the straggler /
+// time blocked in the inbox is the rank's receive-wait (the straggler /
 // imbalance signal), recorded both in Stats and — when a tracer is
 // attached — as a wait span attributed to the enclosing phase. A blocking
 // receive is a post + wait on the shared slot machinery, so it is ordered
@@ -440,7 +373,7 @@ func (c *Comm) recv(from, tag int) (any, int) {
 		f.maybeStall(c)
 	}
 	t0 := time.Now()
-	box := c.world.boxes[c.rank]
+	box := c.world.inboxes[c.rank]
 	s := &c.blockSlot
 	*s = recvSlot{}
 	box.post(from, tag, s)

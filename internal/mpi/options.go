@@ -22,6 +22,10 @@ type RunOptions struct {
 	// metrics.NewSharded(size) so each rank gets its own lane; recording
 	// is a few atomic adds per message, and nil disables it entirely.
 	Metrics *metrics.Registry
+	// Transport names the rank-to-rank fabric backend ("chan", "shm").
+	// Empty selects the process default: the AMR_TRANSPORT environment
+	// variable if set, else "chan". See the Transport interface.
+	Transport string
 }
 
 // RunOpt executes fn on size ranks with the given options, panicking on

@@ -1,0 +1,391 @@
+package mpi
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The shared-memory transport gives every rank its own OS thread and a
+// private matching engine, connected by lock-free single-producer/
+// single-consumer rings — the in-process analogue of one MPI process per
+// core over a shared-memory BTL:
+//
+//   - each rank goroutine is pinned with runtime.LockOSThread (plus
+//     best-effort sched_setaffinity placement on Linux), and GOMAXPROCS
+//     is raised to min(P, NumCPU) for the world's lifetime, so P ranks
+//     genuinely execute on up to P cores instead of multiplexing one;
+//   - a send appends to the bounded-allocation SPSC ring of the
+//     (sender -> receiver) link: no lock, no syscall, one atomic store;
+//   - the receiving rank drains its rings into its own matcher from its
+//     own thread, so tag matching, posted-receive completion, and the
+//     fault layer's reassembly windows need no synchronization at all;
+//   - a receiver with nothing to do spins briefly (only when every rank
+//     has its own processor — spinning on an oversubscribed host would
+//     steal cycles from the very sender it waits for) and then parks on
+//     its doorbell; a sender rings the doorbell only when the receiver
+//     is actually parked, so the contended path stays lock-free.
+//
+// Ordering guarantees are inherited rather than re-proven: rings are FIFO
+// per directed link, the matcher is the same engine the channel backend
+// uses, and the fault layer's sequence windows restore per-link order for
+// anything that took a detour (delay/duplicate timers enter through a
+// mutex-guarded side door, since they run off the sender's thread).
+type shmTransport struct{}
+
+func (shmTransport) Name() string { return "shm" }
+
+func (shmTransport) newFabric(w *World) fabric {
+	f := &shmFabric{
+		w:     w,
+		ranks: make([]*ringInbox, w.size),
+		procs: acquireProcs(w.size),
+	}
+	// Spin before parking only when the host can run every rank at once;
+	// otherwise parking immediately hands the processor to the rank that
+	// will produce the awaited message.
+	if f.procs >= w.size {
+		f.spin = 64
+	}
+	for i := range f.ranks {
+		f.ranks[i] = newRingInbox(w, f, w.size)
+	}
+	return f
+}
+
+type shmFabric struct {
+	w     *World
+	ranks []*ringInbox
+	spin  int
+	procs int
+}
+
+func (f *shmFabric) inbox(rank int) inbox { return f.ranks[rank] }
+
+// launch runs body on a dedicated OS thread. The thread is locked for the
+// rank's whole life — the Go scheduler cannot migrate or multiplex it —
+// and on Linux it is additionally pinned round-robin onto the machine's
+// allowed CPUs so neighboring ranks land on distinct cores. The thread is
+// deliberately never unlocked: its affinity mask was narrowed to one CPU,
+// so returning it to the runtime's thread pool would leak that placement
+// onto unrelated goroutines; exiting the locked goroutine terminates the
+// thread instead.
+func (f *shmFabric) launch(rank int, body func()) {
+	go func() {
+		runtime.LockOSThread()
+		pinThread(rank)
+		body()
+	}()
+}
+
+func (f *shmFabric) wake() {
+	for _, ib := range f.ranks {
+		ib.bell.ring()
+	}
+}
+
+func (f *shmFabric) close() { releaseProcs() }
+
+// flush drains what the exited ranks left in their rings — late duplicate
+// copies from fault timers, typically — so the reassembly windows account
+// for every delivery. Runs on the world's driver goroutine after rank
+// threads and timers have joined, which makes it the sole consumer.
+func (f *shmFabric) flush() {
+	for _, ib := range f.ranks {
+		ib.drain()
+	}
+}
+
+// GOMAXPROCS management: the shm backend needs at least min(P, NumCPU)
+// processors or its pinned threads serialize behind the Go scheduler.
+// Worlds acquire/release a process-global raise with a refcount so
+// concurrent worlds (parallel tests) compose; the original value is
+// restored when the last shm world closes.
+var gmp struct {
+	sync.Mutex
+	refs  int
+	saved int
+}
+
+func acquireProcs(size int) int {
+	want := size
+	if n := runtime.NumCPU(); want > n {
+		want = n
+	}
+	gmp.Lock()
+	defer gmp.Unlock()
+	cur := runtime.GOMAXPROCS(0)
+	if gmp.refs == 0 {
+		gmp.saved = cur
+	}
+	gmp.refs++
+	if want > cur {
+		runtime.GOMAXPROCS(want)
+		return want
+	}
+	return cur
+}
+
+func releaseProcs() {
+	gmp.Lock()
+	defer gmp.Unlock()
+	gmp.refs--
+	if gmp.refs == 0 {
+		runtime.GOMAXPROCS(gmp.saved)
+	}
+}
+
+// seqMsg is one ring entry: the message plus its fault-layer sequence
+// number when a plan is installed (seqValid false on the plan-free path).
+type seqMsg struct {
+	msg      message
+	seq      uint64
+	seqValid bool
+}
+
+// spscSegSize is the ring segment capacity. Sends must never block (the
+// runtime promises buffered-send semantics; the forest algorithms rely on
+// it for deadlock freedom), so the ring grows by linking fresh segments
+// instead of back-pressuring the producer — one allocation per segSize
+// messages on a link, amortized to noise.
+const spscSegSize = 128
+
+type spscSeg struct {
+	items [spscSegSize]spscSlot
+	next  atomic.Pointer[spscSeg]
+}
+
+type spscSlot struct {
+	ready atomic.Bool
+	val   seqMsg
+}
+
+// spscQueue is an unbounded single-producer/single-consumer FIFO over
+// linked fixed-size segments. The producer owns tail/tailIdx, the
+// consumer owns head/headIdx; the only shared state is the per-slot ready
+// flag (store-release by the producer, load-acquire by the consumer) and
+// the segment link pointer.
+type spscQueue struct {
+	tail    *spscSeg
+	tailIdx int
+	_       [64]byte // keep producer and consumer fields off one cache line
+	head    *spscSeg
+	headIdx int
+}
+
+func newSpscQueue() *spscQueue {
+	s := &spscSeg{}
+	return &spscQueue{tail: s, head: s}
+}
+
+// push appends one entry; producer thread only.
+func (q *spscQueue) push(v seqMsg) {
+	if q.tailIdx == spscSegSize {
+		ns := &spscSeg{}
+		q.tail.next.Store(ns)
+		q.tail = ns
+		q.tailIdx = 0
+	}
+	s := &q.tail.items[q.tailIdx]
+	s.val = v
+	s.ready.Store(true)
+	q.tailIdx++
+}
+
+// pop removes the oldest entry; consumer thread only. The drained slot is
+// zeroed so the ring drops its payload reference at delivery.
+func (q *spscQueue) pop() (seqMsg, bool) {
+	if q.headIdx == spscSegSize {
+		ns := q.head.next.Load()
+		if ns == nil {
+			return seqMsg{}, false
+		}
+		q.head = ns
+		q.headIdx = 0
+	}
+	s := &q.head.items[q.headIdx]
+	if !s.ready.Load() {
+		return seqMsg{}, false
+	}
+	v := s.val
+	s.val = seqMsg{}
+	q.headIdx++
+	return v, true
+}
+
+// pending reports whether an entry is ready; consumer thread only.
+func (q *spscQueue) pending() bool {
+	if q.headIdx == spscSegSize {
+		ns := q.head.next.Load()
+		return ns != nil && ns.items[0].ready.Load()
+	}
+	return q.head.items[q.headIdx].ready.Load()
+}
+
+// doorbell parks an idle receiver and lets senders wake it. The data path
+// never touches the mutex: a sender rings only after observing the
+// receiver's sleeping flag, which the receiver sets under the mutex before
+// re-checking its rings — the standard flag/recheck handshake, so a push
+// is either seen by the final recheck or its sender sees sleeping==true
+// and broadcasts.
+type doorbell struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	sleeping atomic.Bool
+}
+
+func (b *doorbell) ring() {
+	if !b.sleeping.Load() {
+		return
+	}
+	b.mu.Lock()
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// ringInbox is one rank's shm receive endpoint: P ingress rings (one per
+// sending rank, self included), a mutex-guarded injection queue for
+// producers that are not rank threads (fault-delay timers), and the
+// matching engine — owned exclusively by the receiving thread.
+type ringInbox struct {
+	w   *World
+	fab *shmFabric
+	matcher
+
+	lanes []*spscQueue
+	bell  doorbell
+
+	injMu      sync.Mutex
+	injQ       []seqMsg
+	injPending atomic.Bool
+}
+
+func newRingInbox(w *World, fab *shmFabric, size int) *ringInbox {
+	ib := &ringInbox{w: w, fab: fab, lanes: make([]*spscQueue, size)}
+	for i := range ib.lanes {
+		ib.lanes[i] = newSpscQueue()
+	}
+	ib.bell.cond = sync.NewCond(&ib.bell.mu)
+	if w.faults != nil {
+		ib.reorder = make([]linkRecv, size)
+	}
+	return ib
+}
+
+// put delivers a message from the sending rank's own thread (the SPSC
+// producer of its lane).
+func (ib *ringInbox) put(msg message) {
+	ib.lanes[msg.from].push(seqMsg{msg: msg})
+	ib.bell.ring()
+}
+
+// putSeq is put for the fault layer's sequenced messages, still on the
+// sending rank's thread.
+func (ib *ringInbox) putSeq(msg message, seq uint64, f *faultState) {
+	ib.lanes[msg.from].push(seqMsg{msg: msg, seq: seq, seqValid: true})
+	ib.bell.ring()
+}
+
+// inject is the side door for producers that do not own a lane — the
+// fault layer's delayed/duplicate delivery timers. The sequence windows
+// restore per-link ordering across the two ingress paths.
+func (ib *ringInbox) inject(msg message, seq uint64, f *faultState) {
+	ib.injMu.Lock()
+	ib.injQ = append(ib.injQ, seqMsg{msg: msg, seq: seq, seqValid: true})
+	ib.injMu.Unlock()
+	ib.injPending.Store(true)
+	ib.bell.ring()
+}
+
+// drain moves every available ingress entry into the matching engine.
+// Receiving thread only.
+func (ib *ringInbox) drain() {
+	for _, lane := range ib.lanes {
+		for {
+			e, ok := lane.pop()
+			if !ok {
+				break
+			}
+			ib.dispatch(e)
+		}
+	}
+	if ib.injPending.Load() {
+		ib.injMu.Lock()
+		q := ib.injQ
+		ib.injQ = nil
+		ib.injPending.Store(false)
+		ib.injMu.Unlock()
+		for i := range q {
+			ib.dispatch(q[i])
+			q[i] = seqMsg{}
+		}
+	}
+}
+
+func (ib *ringInbox) dispatch(e seqMsg) {
+	if e.seqValid {
+		ib.deliverSeq(e.msg, e.seq, ib.w.faults)
+	} else {
+		ib.deliver(e.msg)
+	}
+}
+
+// pendingIngress reports whether any lane or the injection queue holds an
+// undrained entry. Receiving thread only.
+func (ib *ringInbox) pendingIngress() bool {
+	for _, lane := range ib.lanes {
+		if lane.pending() {
+			return true
+		}
+	}
+	return ib.injPending.Load()
+}
+
+// post drains the ingress first — queued arrivals must beat a new posted
+// slot, preserving the FIFO-per-channel rule — then registers the receive
+// with the matcher. Receiving thread only (Comm is single-goroutine).
+func (ib *ringInbox) post(from, tag int, s *recvSlot) {
+	ib.drain()
+	ib.matcher.post(from, tag, s)
+}
+
+// wait blocks until the posted slot completes: drain, spin while the host
+// has a processor per rank, then park on the doorbell. Unwinds with
+// abortSignal when the world dies so a crash never deadlocks peers.
+func (ib *ringInbox) wait(s *recvSlot) message {
+	spin := ib.fab.spin
+	for i := 0; ; i++ {
+		ib.drain()
+		if s.done {
+			return s.msg
+		}
+		if ib.w.aborted.Load() {
+			panic(abortSignal{})
+		}
+		if i < spin {
+			continue
+		}
+		ib.park()
+	}
+}
+
+// park blocks until ingress arrives or the world aborts. Only the owner
+// delivers into the matcher, so a parked receiver's slot cannot complete
+// while it sleeps; new ingress is the only thing worth waking for.
+func (ib *ringInbox) park() {
+	b := &ib.bell
+	b.mu.Lock()
+	b.sleeping.Store(true)
+	for !ib.pendingIngress() && !ib.w.aborted.Load() {
+		b.cond.Wait()
+	}
+	b.sleeping.Store(false)
+	b.mu.Unlock()
+}
+
+// poll reports whether the posted slot has completed, draining first so a
+// Test observes everything already queued in the rings.
+func (ib *ringInbox) poll(s *recvSlot) bool {
+	ib.drain()
+	return s.done
+}

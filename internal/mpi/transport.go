@@ -1,0 +1,171 @@
+package mpi
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+)
+
+// Transport is a pluggable rank-to-rank message fabric. A transport
+// decides two things: how a sent message travels to the receiving rank's
+// matching engine, and on what execution vehicle each rank runs. Every
+// guarantee of the runtime — per-channel FIFO, non-overtaking posted
+// receives, deterministic collectives, fault-plan reassembly — is pinned
+// by the transport conformance suite over every registered backend, so
+// all collectives, SparseExchange, nonblocking requests, the split-phase
+// ghost exchange, and checkpoint/restart work unmodified on any of them.
+//
+// Two production backends are registered:
+//
+//   - "chan": ranks are goroutines multiplexed by the Go scheduler;
+//     senders deliver straight into the receiver's mutex-guarded mailbox.
+//     Zero-configuration, lowest latency at oversubscription, and the
+//     historical default.
+//   - "shm":  each rank runs on its own LockOSThread-pinned worker with
+//     GOMAXPROCS-aware placement (and best-effort CPU affinity on Linux),
+//     and messages travel over lock-free single-producer rings between
+//     peers; the matching engine is confined to the receiving thread. P
+//     ranks execute on up to P cores, which is what turns the per-octant
+//     efficiency story into measured wall-clock speedup.
+//
+// Select a backend per run with RunOptions.Transport, or process-wide
+// with the AMR_TRANSPORT environment variable (the cmd drivers expose it
+// as -transport).
+type Transport interface {
+	// Name is the registry key ("chan", "shm").
+	Name() string
+	// newFabric instantiates the transport for one world. Sealed: backends
+	// live in this package, pinned by the shared conformance suite.
+	newFabric(w *World) fabric
+}
+
+// fabric is one world's instantiation of a transport: the per-rank receive
+// endpoints plus the launch/wake/teardown hooks of the rank vehicles.
+type fabric interface {
+	// inbox returns rank's receive endpoint.
+	inbox(rank int) inbox
+	// launch starts body on rank's execution vehicle (goroutine or pinned
+	// OS thread). body never panics: the run wrapper recovers inside.
+	launch(rank int, body func())
+	// wake unblocks every receiver parked in a wait so an aborting world
+	// cannot deadlock on messages that will never arrive.
+	wake()
+	// flush processes ingress still sitting in transport buffers after
+	// every rank has exited and all fault-delivery timers have joined
+	// (undrained late duplicates must still hit the reassembly windows so
+	// the dedup accounting balances). Called with no concurrent senders
+	// or receivers.
+	flush()
+	// close releases any process-global resources (e.g. a GOMAXPROCS
+	// raise) after all ranks have exited.
+	close()
+}
+
+// inbox is one rank's receive endpoint: ingress for senders (put/putSeq
+// from rank goroutines, inject from fault-delivery timers) and the
+// post/wait/poll half used by the owning rank's blocking and nonblocking
+// receives.
+type inbox interface {
+	put(msg message)
+	putSeq(msg message, seq uint64, f *faultState)
+	inject(msg message, seq uint64, f *faultState)
+	post(from, tag int, s *recvSlot)
+	wait(s *recvSlot) message
+	poll(s *recvSlot) bool
+}
+
+// DefaultTransport is the backend used when RunOptions.Transport is empty
+// and AMR_TRANSPORT is unset.
+const DefaultTransport = "chan"
+
+// EnvTransport is the environment variable that overrides the default
+// backend process-wide — the CI matrix runs the whole test suite under
+// each backend by exporting it.
+const EnvTransport = "AMR_TRANSPORT"
+
+var (
+	transportMu  sync.RWMutex
+	transportReg = map[string]Transport{}
+)
+
+func registerTransport(t Transport) {
+	transportMu.Lock()
+	defer transportMu.Unlock()
+	if _, dup := transportReg[t.Name()]; dup {
+		panic("mpi: duplicate transport " + t.Name())
+	}
+	transportReg[t.Name()] = t
+}
+
+func init() {
+	registerTransport(chanTransport{})
+	registerTransport(shmTransport{})
+}
+
+// Transports returns the registered backend names, sorted. Conformance
+// tests and driver -transport flag validation iterate it.
+func Transports() []string {
+	transportMu.RLock()
+	defer transportMu.RUnlock()
+	names := make([]string, 0, len(transportReg))
+	for name := range transportReg {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TransportByName resolves a backend name ("" means the default: the
+// AMR_TRANSPORT environment variable if set, else "chan").
+func TransportByName(name string) (Transport, error) {
+	if name == "" {
+		name = os.Getenv(EnvTransport)
+	}
+	if name == "" {
+		name = DefaultTransport
+	}
+	transportMu.RLock()
+	t := transportReg[name]
+	transportMu.RUnlock()
+	if t == nil {
+		return nil, fmt.Errorf("mpi: unknown transport %q (have %v)", name, Transports())
+	}
+	return t, nil
+}
+
+// chanTransport is the in-process channel-mailbox backend: the original
+// runtime fabric, bit-for-bit. Ranks are plain goroutines and a send
+// acquires the receiver's mailbox mutex to deliver directly into its
+// matching engine.
+type chanTransport struct{}
+
+func (chanTransport) Name() string { return "chan" }
+
+func (chanTransport) newFabric(w *World) fabric {
+	f := &chanFabric{boxes: make([]*mailbox, w.size)}
+	for i := range f.boxes {
+		f.boxes[i] = newMailbox(w)
+	}
+	return f
+}
+
+type chanFabric struct {
+	boxes []*mailbox
+}
+
+func (f *chanFabric) inbox(rank int) inbox         { return f.boxes[rank] }
+func (f *chanFabric) launch(rank int, body func()) { go body() }
+func (f *chanFabric) close()                       {}
+
+// flush is a no-op: channel senders and timers deliver straight into the
+// mutex-guarded matching engine, so nothing can be left in flight.
+func (f *chanFabric) flush() {}
+
+func (f *chanFabric) wake() {
+	for _, b := range f.boxes {
+		b.mu.Lock()
+		b.cond.Broadcast()
+		b.mu.Unlock()
+	}
+}

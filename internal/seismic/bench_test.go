@@ -45,30 +45,34 @@ func BenchmarkHostVsDeviceStep(b *testing.B) {
 }
 
 // BenchmarkSeismicStep measures one RK step of the elastic solver per
-// rank-count and exchange mode, on a uniform periodic brick. "overlap"
-// runs the split-phase ghost exchange with the volume and interior-face
-// kernels between Start and Finish; "blocking" completes the exchange up
-// front (the pre-overlap baseline). Run with -benchmem: steady-state
-// allocs/op is pinned by the tests and must stay at zero for P=1.
+// rank-count, exchange mode, and transport backend, on a uniform periodic
+// brick. "overlap" runs the split-phase ghost exchange with the volume and
+// interior-face kernels between Start and Finish; "blocking" completes the
+// exchange up front (the pre-overlap baseline). The P∈{1,2,4,8} ×
+// transport matrix is the strong-scaling curve for the wave solver. Run
+// with -benchmem: steady-state allocs/op is pinned by the tests and must
+// stay at zero for P=1.
 func BenchmarkSeismicStep(b *testing.B) {
-	for _, p := range []int{1, 8} {
-		for _, mode := range []string{"overlap", "blocking"} {
-			b.Run(fmt.Sprintf("P%d/%s", p, mode), func(b *testing.B) {
-				mpi.Run(p, func(c *mpi.Comm) {
-					s := overlapSolver(c, mode == "blocking")
-					dt := s.DT()
-					s.Step(dt) // warm up scratch and integrator registers
-					b.ResetTimer()
-					for i := 0; i < b.N; i++ {
-						s.Step(dt)
-					}
-					b.StopTimer()
-					if c.Rank() == 0 {
-						m := s.Mesh
-						b.ReportMetric(float64(len(m.BoundaryElems))/float64(m.NumLocal), "bndfrac")
-					}
+	for _, tp := range mpi.Transports() {
+		for _, p := range []int{1, 2, 4, 8} {
+			for _, mode := range []string{"overlap", "blocking"} {
+				b.Run(fmt.Sprintf("P%d/%s/%s", p, mode, tp), func(b *testing.B) {
+					mpi.RunOpt(p, mpi.RunOptions{Transport: tp}, func(c *mpi.Comm) {
+						s := overlapSolver(c, mode == "blocking")
+						dt := s.DT()
+						s.Step(dt) // warm up scratch and integrator registers
+						b.ResetTimer()
+						for i := 0; i < b.N; i++ {
+							s.Step(dt)
+						}
+						b.StopTimer()
+						if c.Rank() == 0 {
+							m := s.Mesh
+							b.ReportMetric(float64(len(m.BoundaryElems))/float64(m.NumLocal), "bndfrac")
+						}
+					})
 				})
-			})
+			}
 		}
 	}
 }

@@ -2,6 +2,7 @@ package seismic
 
 import (
 	"os"
+	"path/filepath"
 
 	"repro/internal/connectivity"
 	"repro/internal/core"
@@ -46,6 +47,12 @@ func (s *Solver) SaveCheckpoint(base string, step int64) error {
 	if s.Comm.Rank() == 0 {
 		if err = os.Rename(fp+".tmp", fp); err == nil {
 			err = os.Rename(dp+".tmp", dp)
+		}
+		if err == nil {
+			// Make the renames durable; the file contents were fsynced at
+			// write time, the directory entries are the remaining volatile
+			// piece of the atomic-replace protocol.
+			err = core.SyncDir(filepath.Dir(fp))
 		}
 	}
 	err = mpi.BcastErr(s.Comm, err)

@@ -4,8 +4,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/metrics"
+	"repro/internal/mpi"
 	"repro/internal/trace"
 )
 
@@ -30,6 +32,8 @@ type Driver struct {
 
 	addr         string
 	manifestPath string
+	transport    string
+	resolvedTP   string
 	world        *metrics.Registry
 	manifest     *Manifest
 }
@@ -42,8 +46,15 @@ func NewDriver(command string) *Driver {
 		"serve live /metrics, /metrics.json, /healthz and /debug/pprof on this address (e.g. :9600, or 127.0.0.1:0 for an ephemeral port)")
 	flag.StringVar(&d.manifestPath, "manifest", "",
 		"write a per-run JSON manifest (config, phase summaries, fault stats) to this path at exit")
+	flag.StringVar(&d.transport, "transport", "",
+		"rank fabric backend ("+strings.Join(mpi.Transports(), "|")+
+			"); empty uses $"+mpi.EnvTransport+" if set, else "+mpi.DefaultTransport)
 	return d
 }
+
+// Transport returns the resolved fabric backend name for the run. Valid
+// only after Start.
+func (d *Driver) Transport() string { return d.resolvedTP }
 
 // Enabled reports whether any telemetry output was requested.
 func (d *Driver) Enabled() bool { return d.addr != "" || d.manifestPath != "" }
@@ -51,12 +62,20 @@ func (d *Driver) Enabled() bool { return d.addr != "" || d.manifestPath != "" }
 // Start brings up the HTTP endpoint (if -telemetry was given) and the
 // manifest (if -manifest was given). Call once, after flag.Parse.
 func (d *Driver) Start() error {
+	// Resolve the fabric backend first so a typo in -transport (or in
+	// AMR_TRANSPORT) fails before any work, telemetry on or off.
+	tp, err := mpi.TransportByName(d.transport)
+	if err != nil {
+		return err
+	}
+	d.resolvedTP = tp.Name()
 	if !d.Enabled() {
 		return nil
 	}
 	d.Server = NewServer()
 	if d.manifestPath != "" {
 		d.manifest = NewManifest(d.Command)
+		d.manifest.Transport = d.resolvedTP
 	}
 	if d.addr != "" {
 		addr, err := d.Server.ListenAndServe(d.addr)

@@ -24,6 +24,9 @@ type Manifest struct {
 	EndTime     time.Time         `json:"end_time"`
 	WallSeconds float64           `json:"wall_seconds"`
 	Ranks       int               `json:"ranks"`
+	// Transport records the resolved rank-fabric backend the run used —
+	// scaling numbers are meaningless without it.
+	Transport string `json:"transport,omitempty"`
 
 	Phases   []PhaseSummary   `json:"phases,omitempty"`
 	Counters map[string]int64 `json:"counters,omitempty"`

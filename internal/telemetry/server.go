@@ -9,6 +9,7 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"fmt"
@@ -289,7 +290,7 @@ func (s *Server) Handler() http.Handler {
 // — solvers publish them each time step), and the fault counters of an
 // active chaos run.
 type Health struct {
-	Status        string `json:"status"`
+	Status        string  `json:"status"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	Ranks         int     `json:"ranks"`
 
@@ -357,10 +358,26 @@ func (s *Server) ListenAndServe(addr string) (string, error) {
 	return ln.Addr().String(), nil
 }
 
-// Close stops the listener (no-op if ListenAndServe was never called).
+// shutdownGrace bounds how long Close waits for in-flight scrapes. A
+// last /metrics pull racing process exit deserves its response — a
+// Prometheus scrape cut mid-body records a gap at exactly the most
+// interesting moment of the run — but a stuck client must not wedge the
+// driver's exit path.
+const shutdownGrace = 2 * time.Second
+
+// Close gracefully stops the server (no-op if ListenAndServe was never
+// called): the listener closes immediately, in-flight requests get
+// shutdownGrace to complete, and only then are lingering connections cut.
 func (s *Server) Close() error {
 	if s.http == nil {
 		return nil
 	}
-	return s.http.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	if err := s.http.Shutdown(ctx); err != nil {
+		// Grace expired with a request still running; fall back to the
+		// hard close so exit cannot hang.
+		return s.http.Close()
+	}
+	return nil
 }

@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -196,5 +197,63 @@ func TestResetSources(t *testing.T) {
 	s.ResetSources()
 	if snap := s.Gather(); snap.Ranks != 0 || len(snap.Counters) != 0 {
 		t.Fatalf("sources survived reset: %+v", snap)
+	}
+}
+
+// TestCloseWaitsForInflightRequests pins the graceful-shutdown satellite:
+// a scrape already being served when Close is called receives its complete
+// response (previously http.Server.Close cut the connection mid-body),
+// while Close itself stays bounded by the shutdown grace.
+func TestCloseWaitsForInflightRequests(t *testing.T) {
+	s := NewServer()
+	s.RegisterWorld(metrics.NewSharded(1))
+	addr, err := s.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The execution-trace endpoint streams for the requested duration, so
+	// the request is reliably still in flight when Close fires.
+	type result struct {
+		status int
+		err    error
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, err := http.Get("http://" + addr + "/debug/pprof/trace?seconds=0.5")
+		if err != nil {
+			done <- result{0, err}
+			return
+		}
+		defer resp.Body.Close()
+		_, rerr := io.Copy(io.Discard, resp.Body)
+		done <- result{resp.StatusCode, rerr}
+	}()
+
+	// Headers arrive immediately; give the stream a moment to be mid-body.
+	time.Sleep(100 * time.Millisecond)
+	t0 := time.Now()
+	if err := s.Close(); err != nil {
+		t.Fatalf("graceful close: %v", err)
+	}
+	if waited := time.Since(t0); waited > shutdownGrace+time.Second {
+		t.Fatalf("Close blocked %v, beyond the shutdown grace", waited)
+	}
+
+	select {
+	case r := <-done:
+		if r.err != nil {
+			t.Fatalf("in-flight request cut off by Close: %v", r.err)
+		}
+		if r.status != 200 {
+			t.Fatalf("in-flight request status %d", r.status)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("in-flight request never completed")
+	}
+
+	// New connections must be refused after Close.
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Fatal("server accepted a connection after Close")
 	}
 }
