@@ -3,7 +3,7 @@
 # so plain `go test` is not enough). CI runs `make verify`.
 
 GO ?= go
-PR ?= 7
+PR ?= 8
 
 .PHONY: verify vet build test test-race bench bench-smoke bench-record fig4 chaos telemetry-smoke
 
@@ -34,6 +34,7 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench='Benchmark(Advect|Seismic)Step' -benchtime=1x -benchmem -timeout 5m ./internal/advect/ ./internal/seismic/
 	$(GO) test -run 'Allocs' -timeout 5m ./internal/mangll/ ./internal/advect/ ./internal/seismic/
 	GOMAXPROCS=4 $(GO) test -run '^$$' -bench='BenchmarkAdvectStep/P4/overlap/(chan|shm)$$' -benchtime=1x -timeout 5m ./internal/advect/
+	GOMAXPROCS=4 $(GO) test -run '^$$' -bench='BenchmarkAdvectStep/P1/overlap/(chan|shm)/w4$$' -benchtime=1x -timeout 5m ./internal/advect/
 
 # Archive the solver step benchmarks (ns/op, B/op, allocs/op) as
 # BENCH_$(PR).json for cross-PR comparison. The Telemetry variant rides

@@ -88,7 +88,7 @@ func main() {
 		}
 		world, runTr := tel.BeginRun(p, tr)
 		row := experiments.RunFig5Obs(p, opts, *steps, *adaptEvery,
-			experiments.Obs{Tracer: runTr, World: world, OnRank: tel.OnRank, Transport: tel.Transport()})
+			experiments.Obs{Tracer: runTr, World: world, OnRank: tel.OnRank, Transport: tel.Transport(), Workers: tel.Workers()})
 		fmt.Printf("%8d %10d %12d %10.3f %10.3f %8.2f %12.3e %10.1f\n",
 			row.Ranks, row.Elements, row.Unknowns, row.AMRSec, row.IntegSec,
 			row.AMRPercent, row.NormPerStep, row.ShippedPct)

@@ -67,7 +67,7 @@ func runRobust(p int, opts advect.Options, steps, adaptEvery int, tel *telemetry
 		}
 		fr := telemetry.NewFlightRecorder(tr, filepath.Dir(*checkpointBase))
 		err := fr.Guard(func() error {
-			return mpi.RunErrOpt(p, mpi.RunOptions{Tracer: tr, Plan: plan, Metrics: world, Transport: tel.Transport()},
+			return mpi.RunErrOpt(p, mpi.RunOptions{Tracer: tr, Plan: plan, Metrics: world, Transport: tel.Transport(), Workers: tel.Workers()},
 				func(c *mpi.Comm) error {
 					var s *advect.Solver
 					var start int64

@@ -40,7 +40,12 @@ type entry struct {
 	// convention). Scaling comparisons need it as a first-class field:
 	// "AdvectStep/P8/overlap/shm" at 1 proc and at 8 procs are different
 	// experiments that previously collided under one name.
-	Procs   int                `json:"procs"`
+	Procs int `json:"procs"`
+	// Workers is the per-rank kernel worker count, split off a trailing
+	// "/wN" name component (1 when absent). Like Procs, it is part of the
+	// experiment's identity: the same step benchmark at w=1 and w=4 must
+	// not collide under one name.
+	Workers int                `json:"workers"`
 	Metrics map[string]float64 `json:"metrics"`
 }
 
@@ -60,6 +65,7 @@ type manifest struct {
 	Command    string            `json:"command"`
 	Config     map[string]string `json:"config"`
 	Ranks      int               `json:"ranks"`
+	Workers    int               `json:"workers"`
 	Benchmarks []entry           `json:"benchmarks"`
 }
 
@@ -93,6 +99,13 @@ func main() {
 				e.Pkg = "manifest:" + m.Command
 				if e.Procs == 0 {
 					e.Procs = 1 // manifests predate the procs field
+				}
+				if e.Workers == 0 {
+					if m.Workers > 0 {
+						e.Workers = m.Workers
+					} else {
+						e.Workers = 1
+					}
 				}
 				rec.Benchmarks = append(rec.Benchmarks, e)
 			}
@@ -159,7 +172,8 @@ func parseBench(line string) (entry, error) {
 		return entry{}, fmt.Errorf("iterations: %v", err)
 	}
 	name, procs := splitProcs(f[0])
-	e := entry{Name: name, Procs: procs, Iterations: iters, Metrics: map[string]float64{}}
+	name, workers := splitWorkers(name)
+	e := entry{Name: name, Procs: procs, Workers: workers, Iterations: iters, Metrics: map[string]float64{}}
 	rest := f[2:]
 	if len(rest)%2 != 0 {
 		return entry{}, fmt.Errorf("odd value/unit tail")
@@ -183,6 +197,22 @@ func splitProcs(name string) (string, int) {
 		return name, 1
 	}
 	n, err := strconv.Atoi(name[i+1:])
+	if err != nil || n <= 0 {
+		return name, 1
+	}
+	return name[:i], n
+}
+
+// splitWorkers strips a trailing "/wN" sub-benchmark component (N a
+// positive integer) off a benchmark name and returns the bare name with N.
+// Names without the component ran at one kernel worker per rank, where the
+// bench matrices omit it.
+func splitWorkers(name string) (string, int) {
+	i := strings.LastIndex(name, "/w")
+	if i < 0 || strings.ContainsRune(name[i+1:], '/') {
+		return name, 1
+	}
+	n, err := strconv.Atoi(name[i+2:])
 	if err != nil || n <= 0 {
 		return name, 1
 	}

@@ -70,7 +70,7 @@ func main() {
 		}
 		world, runTr := tel.BeginRun(p, tr)
 		row := experiments.RunFig7Obs(p, opts,
-			experiments.Obs{Tracer: runTr, World: world, OnRank: tel.OnRank, Transport: tel.Transport()})
+			experiments.Obs{Tracer: runTr, World: world, OnRank: tel.OnRank, Transport: tel.Transport(), Workers: tel.Workers()})
 		r := row.Report
 		fmt.Printf("%8d | %8.2f %8.2f %8.2f | %10d %12d %8d %10.1e\n",
 			row.Ranks, r.SolvePct, r.VcyclePct, r.AMRPct,

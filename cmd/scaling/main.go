@@ -84,7 +84,7 @@ func main() {
 		tr := trace.New(ranks)
 		world, runTr := tel.BeginRun(ranks, tr)
 		row := experiments.RunFig4Obs(ranks, level,
-			experiments.Obs{Tracer: runTr, World: world, OnRank: tel.OnRank, Transport: tel.Transport()})
+			experiments.Obs{Tracer: runTr, World: world, OnRank: tel.OnRank, Transport: tel.Transport(), Workers: tel.Workers()})
 		lastTracer = tr
 		rows = append(rows, row)
 		fmt.Printf("%8d %7d %12d %10.0f | %8.4f %8.4f %8.4f %8.4f %8.4f %8.4f | %12.3f %12.3f\n",

@@ -91,7 +91,7 @@ func main() {
 			lastTracer = tr
 		}
 		world, runTr := tel.BeginRun(p, tr)
-		return experiments.Obs{Tracer: runTr, World: world, OnRank: tel.OnRank, Transport: tel.Transport()}
+		return experiments.Obs{Tracer: runTr, World: world, OnRank: tel.OnRank, Transport: tel.Transport(), Workers: tel.Workers()}
 	}
 
 	if *strong {

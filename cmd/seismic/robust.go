@@ -68,7 +68,7 @@ func runRobust(p int, opts seismic.Options, steps int, tel *telemetry.Driver) er
 		}
 		fr := telemetry.NewFlightRecorder(tr, filepath.Dir(*checkpointBase))
 		err := fr.Guard(func() error {
-			return mpi.RunErrOpt(p, mpi.RunOptions{Tracer: tr, Plan: plan, Metrics: world, Transport: tel.Transport()},
+			return mpi.RunErrOpt(p, mpi.RunOptions{Tracer: tr, Plan: plan, Metrics: world, Transport: tel.Transport(), Workers: tel.Workers()},
 				func(c *mpi.Comm) error {
 					var s *seismic.Solver
 					var start int64

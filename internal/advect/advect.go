@@ -70,16 +70,49 @@ type Solver struct {
 	cv  [3][]float64 // contravariant velocity J grad(xi_a) . u at local nodes
 	buf []float64    // local+ghost work array
 
-	// Hot-path scratch, allocated once per mesh so RHS is allocation-free
-	// in steady state: element-sized volume buffers and face-sized flux
-	// buffers.
-	rTmp, rFa                []float64 // Np
-	rMine, rTheirs, rUnw, rG []float64 // Nf
-	rFv                      []float64 // Nf
-	rhsFn                    func(tt float64, u, du []float64)
+	// Per-worker hot-path scratch, allocated once per mesh so RHS is
+	// allocation-free in steady state. One entry per kernel worker; the
+	// serial path uses ws[0].
+	ws []advScratch
+	// unw holds the precomputed normal velocity u . areaVec at every
+	// link's flux points (Nf values per link, element-major like
+	// Mesh.Links; zeros for domain-boundary links). The advecting velocity
+	// depends only on position, so these are fixed between adaptations —
+	// rebuild() recomputes them after every mesh change. Replaces the
+	// per-RHS faceNormalVel evaluation, which redid the velocity model and
+	// hanging-face interpolation at every stage of every step.
+	unw   []float64
+	kern  advKernel
+	kC    []float64 // RHS input/output of the Apply in progress
+	kDC   []float64
+	rhsFn func(tt float64, u, du []float64)
 
 	velFn func(x, y, z float64) (float64, float64, float64)
 	icFn  func(x, y, z float64) float64
+}
+
+// advScratch is one worker's element- and face-sized kernel buffers.
+type advScratch struct {
+	tmp, fa         []float64 // Np
+	mine, theirs, g []float64 // Nf
+}
+
+// advKernel adapts the solver to the mangll.Kernel interface. It is a
+// field of Solver so the interface conversion (&s.kern) never allocates.
+type advKernel struct{ s *Solver }
+
+func (k *advKernel) NumComps() int { return 1 }
+
+func (k *advKernel) Volume(w *mangll.Work, elems []int32) {
+	k.s.volumeTerm(w, elems, k.s.kC, k.s.kDC)
+}
+
+func (k *advKernel) InteriorFace(w *mangll.Work, links []int32) {
+	k.s.faceTerm(w, links, k.s.kDC)
+}
+
+func (k *advKernel) BoundaryFace(w *mangll.Work, links []int32) {
+	k.s.faceTerm(w, links, k.s.kDC)
 }
 
 // NewShell creates a solver on the 24-tree spherical shell with four
@@ -105,6 +138,7 @@ func NewCustom(comm *mpi.Comm, conn *connectivity.Conn, opts Options,
 	s.hRHS = s.Met.Histogram("rhs", metrics.UnitDuration)
 	s.hExch = s.Met.Histogram("exchange", metrics.UnitDuration)
 	s.hInteg = s.Met.Histogram("integrate", metrics.UnitDuration)
+	s.kern = advKernel{s: s}
 	// One closure for the integrator, built once so Step allocates nothing.
 	s.rhsFn = func(tt float64, u, du []float64) { s.RHS(u, du) }
 	stop := s.Met.Start("amr")
@@ -187,13 +221,44 @@ func (s *Solver) rebuild() {
 		}
 	}
 	s.buf = make([]float64, (m.NumLocal+m.NumGhost)*m.Np)
-	s.rTmp = make([]float64, m.Np)
-	s.rFa = make([]float64, m.Np)
-	s.rMine = make([]float64, m.Nf)
-	s.rTheirs = make([]float64, m.Nf)
-	s.rUnw = make([]float64, m.Nf)
-	s.rG = make([]float64, m.Nf)
-	s.rFv = make([]float64, m.Nf)
+	nw := s.Comm.Workers()
+	s.ws = make([]advScratch, nw)
+	for w := range s.ws {
+		s.ws[w] = advScratch{
+			tmp:    make([]float64, m.Np),
+			fa:     make([]float64, m.Np),
+			mine:   make([]float64, m.Nf),
+			theirs: make([]float64, m.Nf),
+			g:      make([]float64, m.Nf),
+		}
+	}
+	// Precompute the per-link normal velocities (see the unw field docs):
+	// u . areaVec at each link's flux points, interpolated onto the
+	// quadrant grid for hanging faces — exactly the values the old
+	// faceNormalVel recomputed every RHS call.
+	s.unw = make([]float64, len(m.Links)*m.Nf)
+	fv := make([]float64, m.Nf)
+	for li := range m.Links {
+		l := &m.Links[li]
+		if l.Kind == mangll.LinkBoundary {
+			continue // skipped by faceTerm; leave zeros
+		}
+		e := int(l.Elem)
+		for fn := 0; fn < m.Nf; fn++ {
+			vn := int(m.FaceIdx[l.Face][fn])
+			i := e*m.Np + vn
+			ux, uy, uz := s.Velocity(m.X[0][i], m.X[1][i], m.X[2][i])
+			fv[fn] = ux*m.FaceArea[l.Face][0][e*m.Nf+fn] +
+				uy*m.FaceArea[l.Face][1][e*m.Nf+fn] +
+				uz*m.FaceArea[l.Face][2][e*m.Nf+fn]
+		}
+		out := s.unw[li*m.Nf : (li+1)*m.Nf]
+		if l.Kind == mangll.LinkToFineQuad {
+			m.InterpFaceToQuad(l, fv, out)
+			continue
+		}
+		copy(out, fv)
+	}
 }
 
 // MaxVelocity returns the global maximum speed (used for CFL).
@@ -223,51 +288,34 @@ func (s *Solver) DT() float64 {
 // RHS computes dC/dt in conservative curvilinear form:
 // dC/dt = -(1/J) sum_a d/dxi_a (cv_a C) + lift of (F.n - F*).
 //
-// The ghost exchange runs split-phase: sends and receives are posted,
-// then the volume kernels and the face kernels of interior links (which
-// read only local data) execute while the messages are in flight; only
-// the boundary face kernels wait for the exchange. Both the overlapped
-// and the NoOverlap path execute the kernels in the identical order, so
-// the results are bitwise equal.
+// The schedule — split-phase ghost exchange overlapped with the volume
+// and interior-face kernels, optional worker-pool fan-out — lives in
+// mangll's kernel driver; the solver only supplies the hooks (advKernel).
+// Blocking, overlapped, and pooled execution are bitwise identical.
 func (s *Solver) RHS(c, dc []float64) {
 	m := s.Mesh
-	np := m.Np
-	tr := s.Comm.Tracer()
 	tRHS := time.Now()
-	copy(s.buf[:m.NumLocal*np], c)
-
+	copy(s.buf[:m.NumLocal*m.Np], c)
+	s.kC, s.kDC = c, dc
+	var wait time.Duration
 	if s.Opts.NoOverlap {
-		t0 := time.Now()
-		tr.Begin("exchange")
-		m.ExchangeGhost(1, s.buf)
-		tr.End()
-		s.hExch.ObserveDuration(time.Since(t0))
-		s.volumeTerm(c, dc)
-		s.faceTerm(m.IntLinks, dc)
-		s.faceTerm(m.BndLinks, dc)
-		s.hRHS.ObserveDuration(time.Since(tRHS))
-		return
+		wait = m.ApplyBlocking(&s.kern, s.buf)
+	} else {
+		wait = m.Apply(&s.kern, s.buf)
 	}
-
-	ex := m.StartGhostExchange(1, s.buf)
-	s.volumeTerm(c, dc)
-	s.faceTerm(m.IntLinks, dc)
-	t0 := time.Now()
-	tr.Begin("exchange")
-	ex.Finish()
-	tr.End()
-	s.hExch.ObserveDuration(time.Since(t0))
-	s.faceTerm(m.BndLinks, dc)
+	s.hExch.ObserveDuration(wait)
 	s.hRHS.ObserveDuration(time.Since(tRHS))
 }
 
-// volumeTerm accumulates the volume divergence of every local element.
-func (s *Solver) volumeTerm(c, dc []float64) {
+// volumeTerm accumulates the volume divergence of the given local
+// elements.
+func (s *Solver) volumeTerm(w *mangll.Work, elems []int32, c, dc []float64) {
 	m := s.Mesh
 	np := m.Np
-	tmp, fa := s.rTmp, s.rFa
-	for e := 0; e < m.NumLocal; e++ {
-		base := e * np
+	sc := &s.ws[w.ID()]
+	tmp, fa := sc.tmp, sc.fa
+	for _, e := range elems {
+		base := int(e) * np
 		for n := range tmp {
 			tmp[n] = 0
 		}
@@ -275,7 +323,7 @@ func (s *Solver) volumeTerm(c, dc []float64) {
 			for n := 0; n < np; n++ {
 				fa[n] = s.cv[a][base+n] * c[base+n]
 			}
-			m.ApplyD(a, fa, fa)
+			w.ApplyD(a, fa, fa)
 			for n := 0; n < np; n++ {
 				tmp[n] += fa[n]
 			}
@@ -289,17 +337,18 @@ func (s *Solver) volumeTerm(c, dc []float64) {
 // faceTerm accumulates the surface flux of the given links (indices into
 // Mesh.Links). Interior links touch only local data; boundary links read
 // ghost values and must run after the exchange finished.
-func (s *Solver) faceTerm(links []int32, dc []float64) {
+func (s *Solver) faceTerm(w *mangll.Work, links []int32, dc []float64) {
 	m := s.Mesh
-	mine, theirs, unw, g := s.rMine, s.rTheirs, s.rUnw, s.rG
+	sc := &s.ws[w.ID()]
+	mine, theirs, g := sc.mine, sc.theirs, sc.g
 	for _, li := range links {
 		l := &m.Links[li]
 		if l.Kind == mangll.LinkBoundary {
 			continue // un = 0 on the shell boundaries for the rotation field
 		}
-		s.faceNormalVel(l, unw)
-		m.MyFaceValues(l, 1, 0, s.buf, mine)
-		m.FaceValues(l, 1, 0, s.buf, theirs)
+		unw := s.unw[int(li)*m.Nf : (int(li)+1)*m.Nf]
+		w.MyFaceValues(l, 1, 0, s.buf, mine)
+		w.FaceValues(l, 1, 0, s.buf, theirs)
 		for fn := 0; fn < m.Nf; fn++ {
 			flux := unw[fn] * mine[fn] // F . n
 			var star float64
@@ -313,29 +362,8 @@ func (s *Solver) faceTerm(links []int32, dc []float64) {
 			}
 			g[fn] = flux - star
 		}
-		m.LiftFace(l, g, dc)
+		w.LiftFace(l, g, dc)
 	}
-}
-
-// faceNormalVel evaluates u . areaVec at the link's flux points (my face
-// nodes, or the quadrant's fine points for a hanging face).
-func (s *Solver) faceNormalVel(l *mangll.FaceLink, out []float64) {
-	m := s.Mesh
-	e := int(l.Elem)
-	fv := s.rFv
-	for fn := 0; fn < m.Nf; fn++ {
-		vn := int(m.FaceIdx[l.Face][fn])
-		i := e*m.Np + vn
-		ux, uy, uz := s.Velocity(m.X[0][i], m.X[1][i], m.X[2][i])
-		fv[fn] = ux*m.FaceArea[l.Face][0][e*m.Nf+fn] +
-			uy*m.FaceArea[l.Face][1][e*m.Nf+fn] +
-			uz*m.FaceArea[l.Face][2][e*m.Nf+fn]
-	}
-	if l.Kind == mangll.LinkToFineQuad {
-		m.InterpFaceToQuad(l, fv, out)
-		return
-	}
-	copy(out, fv)
 }
 
 // Step advances the solution by one RK step of size dt.

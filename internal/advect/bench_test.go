@@ -30,11 +30,14 @@ func benchOpts() Options {
 // allocs/op is pinned by the tests and must stay at zero for P=1. The
 // bndfrac metric is the fraction of local elements touching a partition
 // boundary — the share of face work that cannot overlap with
-// communication.
+// communication. The /wN sub-cases add the per-rank kernel worker pool
+// (benchjson splits the component into its first-class workers field);
+// unsuffixed names ran at one worker, keeping benchstat continuity with
+// pre-pool archives.
 func BenchmarkAdvectStep(b *testing.B) {
-	step := func(p int, mode, tp string) func(b *testing.B) {
+	step := func(p, workers int, mode, tp string) func(b *testing.B) {
 		return func(b *testing.B) {
-			mpi.RunOpt(p, mpi.RunOptions{Transport: tp}, func(c *mpi.Comm) {
+			mpi.RunOpt(p, mpi.RunOptions{Transport: tp, Workers: workers}, func(c *mpi.Comm) {
 				o := benchOpts()
 				o.NoOverlap = mode == "blocking"
 				s := NewShell(c, o)
@@ -55,14 +58,21 @@ func BenchmarkAdvectStep(b *testing.B) {
 	for _, tp := range mpi.Transports() {
 		for _, p := range []int{1, 2, 4, 8} {
 			for _, mode := range []string{"overlap", "blocking"} {
-				b.Run(fmt.Sprintf("P%d/%s/%s", p, mode, tp), step(p, mode, tp))
+				b.Run(fmt.Sprintf("P%d/%s/%s", p, mode, tp), step(p, 1, mode, tp))
 			}
+		}
+		// The workers axis at fixed P: overlap mode, pool fan-out within
+		// each rank. P4/w4 oversubscribes 16-way on small hosts — the
+		// interesting comparison is against P4/overlap/tp at w=1.
+		for _, w := range []int{2, 4} {
+			b.Run(fmt.Sprintf("P1/overlap/%s/w%d", tp, w), step(1, w, "overlap", tp))
+			b.Run(fmt.Sprintf("P4/overlap/%s/w%d", tp, w), step(4, w, "overlap", tp))
 		}
 	}
 	// Legacy deep-oversubscription case on the default backend, kept so
 	// benchstat lines up against pre-transport archives.
 	for _, mode := range []string{"overlap", "blocking"} {
-		b.Run(fmt.Sprintf("P64/%s", mode), step(64, mode, ""))
+		b.Run(fmt.Sprintf("P64/%s", mode), step(64, 1, mode, ""))
 	}
 }
 

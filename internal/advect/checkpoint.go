@@ -100,6 +100,7 @@ func ResumeCustom(comm *mpi.Comm, conn *connectivity.Conn, opts Options,
 	s.hRHS = s.Met.Histogram("rhs", metrics.UnitDuration)
 	s.hExch = s.Met.Histogram("exchange", metrics.UnitDuration)
 	s.hInteg = s.Met.Histogram("integrate", metrics.UnitDuration)
+	s.kern = advKernel{s: s}
 	s.rhsFn = func(tt float64, u, du []float64) { s.RHS(u, du) }
 	s.rebuild()
 	data, meta, err := f.LoadFields(dp, s.Mesh.Np)

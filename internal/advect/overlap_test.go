@@ -42,12 +42,15 @@ func TestOverlapMatchesBlockingBitwise(t *testing.T) {
 
 // TestRHSAllocs pins the steady-state allocation count of the advection
 // right-hand side at exactly zero in serial: all scratch is solver- or
-// mesh-owned, and the serial exchange path touches no heap.
+// mesh-owned, and the serial exchange path touches no heap. Workers is
+// pinned to 1 explicitly so the exact-zero bound holds even when the test
+// environment sets AMR_WORKERS (the pooled path has its own bounded-alloc
+// pin in TestStepAllocsWorkers).
 func TestRHSAllocs(t *testing.T) {
 	if raceflag.Enabled {
 		t.Skip("allocation counts differ under -race")
 	}
-	mpi.Run(1, func(c *mpi.Comm) {
+	mpi.RunOpt(1, mpi.RunOptions{Workers: 1}, func(c *mpi.Comm) {
 		s := NewShell(c, smallOpts())
 		dc := make([]float64, len(s.C))
 		s.RHS(s.C, dc) // warm up lazily allocated scratch
@@ -66,7 +69,7 @@ func TestStepAllocs(t *testing.T) {
 	if raceflag.Enabled {
 		t.Skip("allocation counts differ under -race")
 	}
-	mpi.Run(1, func(c *mpi.Comm) {
+	mpi.RunOpt(1, mpi.RunOptions{Workers: 1}, func(c *mpi.Comm) {
 		s := NewShell(c, smallOpts())
 		dt := s.DT()
 		s.Step(dt) // warm up integrator registers and scratch

@@ -20,7 +20,7 @@ func TestStepAllocsWithTelemetry(t *testing.T) {
 	}
 	world := metrics.NewSharded(1)
 	tr := trace.NewRing(1, 1024).WithMetrics(world)
-	mpi.RunOpt(1, mpi.RunOptions{Tracer: tr, Metrics: world}, func(c *mpi.Comm) {
+	mpi.RunOpt(1, mpi.RunOptions{Tracer: tr, Metrics: world, Workers: 1}, func(c *mpi.Comm) {
 		s := NewShell(c, smallOpts())
 		dt := s.DT()
 		s.Step(dt) // warm up scratch, histogram lanes, and the span bridge

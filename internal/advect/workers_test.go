@@ -1,0 +1,102 @@
+package advect
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/raceflag"
+)
+
+// workersHash runs the short adaptive checkpoint workload (4 steps,
+// adaptation every 2) on the given configuration and returns rank 0's
+// collective state hash.
+func workersHash(t *testing.T, p, workers int, transport string, noOverlap bool) uint64 {
+	t.Helper()
+	var h uint64
+	mpi.RunOpt(p, mpi.RunOptions{Workers: workers, Transport: transport}, func(c *mpi.Comm) {
+		o := ckptOpts()
+		o.NoOverlap = noOverlap
+		s := NewShell(c, o)
+		if err := s.RunCheckpointed(4, 2, 0, "", 0); err != nil {
+			t.Errorf("w=%d %s noOverlap=%v: run: %v", workers, transport, noOverlap, err)
+		}
+		if hh := s.FieldHash(); c.Rank() == 0 {
+			h = hh
+		}
+	})
+	return h
+}
+
+// TestWorkersMatrixBitwise is the tentpole acceptance criterion at the
+// advection frontend: the full adaptive solve must produce one bitwise
+// state hash across {blocking, overlapped} x workers {1, 2, 4} x every
+// transport, at 1 and 4 ranks. The kernel driver executes elements and
+// links in the identical per-element order on every path, so even
+// floating-point rounding cannot distinguish them.
+func TestWorkersMatrixBitwise(t *testing.T) {
+	for _, p := range []int{1, 4} {
+		want := workersHash(t, p, 1, "chan", true)
+		for _, tp := range mpi.Transports() {
+			for _, w := range []int{1, 2, 4} {
+				for _, noOverlap := range []bool{false, true} {
+					if tp == "chan" && w == 1 && noOverlap {
+						continue // the reference configuration itself
+					}
+					if got := workersHash(t, p, w, tp, noOverlap); got != want {
+						t.Errorf("p=%d transport=%s workers=%d noOverlap=%v: hash %#x, want %#x",
+							p, tp, w, noOverlap, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestWorkerPoolChurn cycles many short-lived worlds with per-rank pools
+// (solver construction, one step, teardown) across both transports. Under
+// -race this is the pool's lifecycle stress: worker startup, job
+// hand-off, and Close must leave no racing goroutine behind when the
+// world exits.
+func TestWorkerPoolChurn(t *testing.T) {
+	for i := 0; i < 3; i++ {
+		for _, tp := range mpi.Transports() {
+			for _, w := range []int{2, 3} {
+				mpi.RunOpt(2, mpi.RunOptions{Workers: w, Transport: tp}, func(c *mpi.Comm) {
+					s := NewShell(c, ckptOpts())
+					s.Step(s.DT())
+				})
+			}
+		}
+	}
+}
+
+// TestStepAllocsWorkers bounds the steady-state allocations of a pooled
+// step. The exact-zero serial pin (TestStepAllocs) cannot hold with
+// worker goroutines in play — the runtime's scheduler may allocate — but
+// the kernel driver itself must not: batches, phase closures, and Work
+// scratch are all prebuilt. The bound is a small constant per step, far
+// below one allocation per batch or per element.
+func TestStepAllocsWorkers(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation counts differ under -race")
+	}
+	mpi.RunOpt(1, mpi.RunOptions{Workers: 4}, func(c *mpi.Comm) {
+		s := NewShell(c, smallOpts())
+		dt := s.DT()
+		for i := 0; i < 3; i++ {
+			s.Step(dt) // warm up scratch and worker stacks
+		}
+		const rounds = 50
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		for i := 0; i < rounds; i++ {
+			s.Step(dt)
+		}
+		runtime.ReadMemStats(&m1)
+		perStep := float64(m1.Mallocs-m0.Mallocs) / rounds
+		if perStep > 32 {
+			t.Fatalf("pooled Step allocates %.1f times per call, want <= 32", perStep)
+		}
+	})
+}

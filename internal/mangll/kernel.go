@@ -1,0 +1,237 @@
+package mangll
+
+import (
+	"strconv"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// Kernel is a physics frontend's view of one right-hand-side evaluation:
+// the mesh owns the schedule (ghost exchange, element batching, worker
+// fan-out) and the kernel supplies the math through three hooks. This is
+// the frontend-parameterized design of the mangll/SU_N spec: AMR owns
+// mesh and fields, physics arrives as a kernel.
+//
+// Hook ordering contract (identical on every path — blocking, overlapped,
+// pooled):
+//
+//	Volume(elems)        — element-local volume terms
+//	InteriorFace(links)  — faces reading only local data (including
+//	                       domain-boundary faces), overlapped with the
+//	                       ghost exchange
+//	BoundaryFace(links)  — faces reading ghost data, after Finish
+//
+// Determinism rules for hook implementations, which make workers=1 and
+// workers=N bitwise identical:
+//
+//   - a hook invoked with element range E and link ranges L may write only
+//     into nodes of elements in E (face lifts accumulate into the link's
+//     own element; dG elements share no nodes across elements);
+//   - within one batch the driver preserves the serial order (volume of
+//     its elements in ascending order, then its links in link order), so
+//     per-element accumulation order is the serial order regardless of
+//     which worker runs the batch;
+//   - hooks must route mesh operations through the Work they are handed
+//     (per-worker scratch), and any user functions they call (velocity,
+//     material models) must be pure;
+//   - hooks must not touch the rank's Comm or Tracer — those belong to
+//     the orchestrator goroutine.
+type Kernel interface {
+	// NumComps is the number of interleaved components per node of the
+	// field array handed to Apply (1 for advect, 9 for seismic).
+	NumComps() int
+	// Volume computes volume terms for the given local element indices.
+	Volume(w *Work, elems []int32)
+	// InteriorFace computes face terms for the given indices into
+	// Mesh.Links, all of which read only local data.
+	InteriorFace(w *Work, links []int32)
+	// BoundaryFace computes face terms for the given indices into
+	// Mesh.Links, all of which read ghost data (valid only after the
+	// exchange finished).
+	BoundaryFace(w *Work, links []int32)
+}
+
+// kernelBatch is one deterministic unit of pool work: a contiguous
+// element range plus the (contiguous, element-major) sub-ranges of
+// IntLinks and BndLinks belonging to those elements. Batches are fixed at
+// mesh build time, so the partition — and therefore the per-element
+// execution order — does not depend on worker count or timing.
+type kernelBatch struct {
+	elems    []int32
+	intLinks []int32
+	bndLinks []int32
+}
+
+// batchesPerWorker oversubscribes the batch count relative to the worker
+// count so the greedy claim can rebalance when batches cost unevenly
+// (boundary elements carry more links than interior ones).
+const batchesPerWorker = 4
+
+// buildKernelDriver prepares the Apply machinery: per-worker Work
+// contexts, the full element list, and (when the rank has a pool) the
+// fixed batch partition and prebuilt phase closures, so steady-state
+// Apply calls allocate nothing on either path.
+func (m *Mesh) buildKernelDriver() {
+	m.pool = m.F.Comm.Pool()
+	nw := 1
+	if m.pool != nil {
+		nw = m.pool.Workers()
+	}
+	m.works = make([]*Work, nw)
+	for i := range m.works {
+		m.works[i] = newWork(m, i)
+	}
+	m.allElems = make([]int32, m.NumLocal)
+	for i := range m.allElems {
+		m.allElems[i] = int32(i)
+	}
+	if m.pool == nil {
+		return
+	}
+	m.buildBatches(nw * batchesPerWorker)
+	m.spanA = make([]string, nw)
+	m.spanB = make([]string, nw)
+	for i := range m.spanA {
+		m.spanA[i] = "pool:interior:w" + strconv.Itoa(i)
+		m.spanB[i] = "pool:boundary:w" + strconv.Itoa(i)
+	}
+	m.phaseA = func(worker, batch int) {
+		b := &m.batches[batch]
+		w := m.works[worker]
+		m.curK.Volume(w, b.elems)
+		m.curK.InteriorFace(w, b.intLinks)
+	}
+	m.phaseB = func(worker, batch int) {
+		b := &m.batches[batch]
+		m.curK.BoundaryFace(m.works[worker], b.bndLinks)
+	}
+}
+
+// buildBatches partitions the local elements into at most nb contiguous
+// ranges and attaches each range's link sub-slices. Links are enumerated
+// element-major (buildLinks), so IntLinks and BndLinks are sorted by
+// element and every batch's links form one contiguous window — located
+// here with a single two-pointer sweep, referenced as zero-copy
+// subslices.
+func (m *Mesh) buildBatches(nb int) {
+	if nb > m.NumLocal {
+		nb = m.NumLocal
+	}
+	m.batches = m.batches[:0]
+	ii, bi := 0, 0
+	for k := 0; k < nb; k++ {
+		e0 := k * m.NumLocal / nb
+		e1 := (k + 1) * m.NumLocal / nb
+		i0 := ii
+		for ii < len(m.IntLinks) && int(m.Links[m.IntLinks[ii]].Elem) < e1 {
+			ii++
+		}
+		b0 := bi
+		for bi < len(m.BndLinks) && int(m.Links[m.BndLinks[bi]].Elem) < e1 {
+			bi++
+		}
+		m.batches = append(m.batches, kernelBatch{
+			elems:    m.allElems[e0:e1],
+			intLinks: m.IntLinks[i0:ii],
+			bndLinks: m.BndLinks[b0:bi],
+		})
+	}
+}
+
+// Apply runs one kernel application with the split-phase ghost exchange
+// overlapped against the interior work: Start exchange, Volume +
+// InteriorFace, Finish, BoundaryFace. field is the local+ghost array the
+// exchange fills (NumComps values per node); its local part must be
+// filled before the call. The returned duration is the time the
+// orchestrator spent completing the exchange (the solvers' exchange-wait
+// histograms).
+//
+// With a per-rank pool the batches of Volume+InteriorFace run on the
+// workers while the orchestrator itself completes the exchange — Finish
+// writes only the ghost region, phase-A batches read only the local
+// region, so the two overlap without synchronization — then BoundaryFace
+// fans out after the join. Results are bitwise identical across blocking,
+// overlapped, and any worker count. Apply must not be re-entered from a
+// kernel hook.
+func (m *Mesh) Apply(k Kernel, field []float64) time.Duration {
+	ex := m.StartGhostExchange(k.NumComps(), field)
+	if m.pool == nil {
+		w := m.works[0]
+		k.Volume(w, m.allElems)
+		k.InteriorFace(w, m.IntLinks)
+		wait := m.finishTraced(ex)
+		k.BoundaryFace(w, m.BndLinks)
+		return wait
+	}
+	m.curK = k
+	m.pool.Start(len(m.batches), m.phaseA)
+	wait := m.finishTraced(ex)
+	m.pool.Wait()
+	m.emitPoolSpans(m.spanA)
+	m.pool.Run(len(m.batches), m.phaseB)
+	m.emitPoolSpans(m.spanB)
+	m.curK = nil
+	return wait
+}
+
+// ApplyBlocking is Apply without communication overlap: the ghost
+// exchange completes before any kernel hook runs (the pre-overlap
+// baseline; solvers select it via their NoOverlap option). Kernel hooks
+// execute in the identical order, so results are bitwise equal to Apply's.
+func (m *Mesh) ApplyBlocking(k Kernel, field []float64) time.Duration {
+	wait := m.exchangeTraced(k.NumComps(), field)
+	if m.pool == nil {
+		w := m.works[0]
+		k.Volume(w, m.allElems)
+		k.InteriorFace(w, m.IntLinks)
+		k.BoundaryFace(w, m.BndLinks)
+		return wait
+	}
+	m.curK = k
+	m.pool.Run(len(m.batches), m.phaseA)
+	m.emitPoolSpans(m.spanA)
+	m.pool.Run(len(m.batches), m.phaseB)
+	m.emitPoolSpans(m.spanB)
+	m.curK = nil
+	return wait
+}
+
+// finishTraced completes an exchange inside an "exchange" trace span and
+// returns the time spent.
+func (m *Mesh) finishTraced(ex *GhostExchange) time.Duration {
+	tr := m.F.Comm.Tracer()
+	t0 := time.Now()
+	tr.Begin("exchange")
+	ex.Finish()
+	tr.End()
+	return time.Since(t0)
+}
+
+// exchangeTraced runs a blocking exchange inside an "exchange" trace span
+// and returns the time spent.
+func (m *Mesh) exchangeTraced(nc int, field []float64) time.Duration {
+	tr := m.F.Comm.Tracer()
+	t0 := time.Now()
+	tr.Begin("exchange")
+	m.ExchangeGhost(nc, field)
+	tr.End()
+	return time.Since(t0)
+}
+
+// emitPoolSpans records each worker's busy interval of the just-joined
+// job as a completed span on the rank's tracer. Workers cannot write to
+// the rank-owned trace buffer themselves; the pool measures, the
+// orchestrator records after the join.
+func (m *Mesh) emitPoolSpans(names []string) {
+	tr := m.F.Comm.Tracer()
+	if tr == nil {
+		return
+	}
+	for i, st := range m.pool.Stats() {
+		if st.Batches == 0 {
+			continue
+		}
+		tr.AddCompleted(names[i], trace.CatPhase, st.Start, st.Busy)
+	}
+}

@@ -1,0 +1,319 @@
+package mangll
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/connectivity"
+	"repro/internal/mpi"
+)
+
+// countKernel records which elements and links each hook saw, for the
+// batch-coverage and ordering checks. Per-element/link counters are atomic
+// so the same kernel works under any worker count.
+type countKernel struct {
+	m        *Mesh
+	volSeen  []atomic.Int32
+	intSeen  []atomic.Int32 // indexed by link index
+	bndSeen  []atomic.Int32
+	volDone  atomic.Int32 // elements completed, to order-check faces
+	intEarly atomic.Int32 // interior-face calls before any volume work
+}
+
+func newCountKernel(m *Mesh) *countKernel {
+	return &countKernel{
+		m:       m,
+		volSeen: make([]atomic.Int32, m.NumLocal),
+		intSeen: make([]atomic.Int32, len(m.Links)),
+		bndSeen: make([]atomic.Int32, len(m.Links)),
+	}
+}
+
+func (k *countKernel) NumComps() int { return 1 }
+
+func (k *countKernel) Volume(w *Work, elems []int32) {
+	for _, e := range elems {
+		k.volSeen[e].Add(1)
+	}
+	k.volDone.Add(int32(len(elems)))
+}
+
+func (k *countKernel) InteriorFace(w *Work, links []int32) {
+	if k.volDone.Load() == 0 && len(links) > 0 {
+		k.intEarly.Add(1)
+	}
+	for _, li := range links {
+		k.intSeen[li].Add(1)
+	}
+}
+
+func (k *countKernel) BoundaryFace(w *Work, links []int32) {
+	for _, li := range links {
+		k.bndSeen[li].Add(1)
+	}
+}
+
+// TestApplyCoverage checks that one Apply invokes Volume on every local
+// element exactly once and each link's face hook exactly once, on the
+// serial path and under a pool, with and without overlap.
+func TestApplyCoverage(t *testing.T) {
+	conn := connectivity.UnitCube()
+	for _, workers := range []int{1, 3} {
+		for _, p := range []int{1, 3} {
+			mpi.RunOpt(p, mpi.RunOptions{Workers: workers}, func(c *mpi.Comm) {
+				_, m := buildMesh(c, conn, 1, 3, 2)
+				field := make([]float64, (m.NumLocal+m.NumGhost)*m.Np)
+				for _, blocking := range []bool{false, true} {
+					k := newCountKernel(m)
+					if blocking {
+						m.ApplyBlocking(k, field)
+					} else {
+						m.Apply(k, field)
+					}
+					for e := range k.volSeen {
+						if n := k.volSeen[e].Load(); n != 1 {
+							t.Fatalf("w=%d p=%d blocking=%v: element %d saw %d Volume calls", workers, p, blocking, e, n)
+						}
+					}
+					for _, li := range m.IntLinks {
+						if n := k.intSeen[li].Load(); n != 1 {
+							t.Fatalf("w=%d p=%d blocking=%v: interior link %d ran %d times", workers, p, blocking, li, n)
+						}
+						if n := k.bndSeen[li].Load(); n != 0 {
+							t.Fatalf("w=%d p=%d blocking=%v: interior link %d ran as boundary", workers, p, blocking, li)
+						}
+					}
+					for _, li := range m.BndLinks {
+						if n := k.bndSeen[li].Load(); n != 1 {
+							t.Fatalf("w=%d p=%d blocking=%v: boundary link %d ran %d times", workers, p, blocking, li, n)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// sumKernel is a tiny but numerically nontrivial kernel: Volume adds a
+// per-node function of the field, face hooks lift the link's face values
+// into the output. Accumulation order within an element matters at the
+// ulp level, which is exactly what the identity test must pin.
+type sumKernel struct {
+	m     *Mesh
+	field []float64
+	out   []float64
+}
+
+func (k *sumKernel) NumComps() int { return 1 }
+
+func (k *sumKernel) Volume(w *Work, elems []int32) {
+	m := k.m
+	for _, e := range elems {
+		base := int(e) * m.Np
+		for n := 0; n < m.Np; n++ {
+			v := k.field[base+n]
+			k.out[base+n] += v*v + math.Sin(v)
+		}
+	}
+}
+
+func (k *sumKernel) face(w *Work, links []int32) {
+	m := k.m
+	vals := make([]float64, m.Nf)
+	nbr := make([]float64, m.Nf)
+	for _, li := range links {
+		l := &m.Links[li]
+		if l.Kind == LinkBoundary {
+			continue // domain boundary: nothing to lift
+		}
+		w.MyFaceValues(l, 1, 0, k.field, vals)
+		w.FaceValues(l, 1, 0, k.field, nbr)
+		for fn := range vals {
+			vals[fn] = 0.5 * (vals[fn] + nbr[fn])
+		}
+		w.LiftFace(l, vals, k.out)
+	}
+}
+
+func (k *sumKernel) InteriorFace(w *Work, links []int32) { k.face(w, links) }
+func (k *sumKernel) BoundaryFace(w *Work, links []int32) { k.face(w, links) }
+
+// applySum runs the sum kernel once on a fresh mesh and returns a bitwise
+// fingerprint of the output gathered to rank 0 (element counts per rank are
+// partition-determined, so the per-rank hash is comparable across worker
+// counts and overlap modes but not rank counts).
+func applySum(c *mpi.Comm, blocking bool) uint64 {
+	_, m := buildMesh(c, connectivity.UnitCube(), 1, 3, 3)
+	field := make([]float64, (m.NumLocal+m.NumGhost)*m.Np)
+	for i := 0; i < m.NumLocal*m.Np; i++ {
+		field[i] = math.Sin(float64(i%97)) + m.X[0][i]
+	}
+	k := &sumKernel{m: m, field: field, out: make([]float64, m.NumLocal*m.Np)}
+	if blocking {
+		m.ApplyBlocking(k, field)
+	} else {
+		m.Apply(k, field)
+	}
+	// FNV-1a over the raw bits, reduced with a fixed-order allgather.
+	h := uint64(14695981039346656037)
+	for _, v := range k.out {
+		b := math.Float64bits(v)
+		for s := 0; s < 64; s += 8 {
+			h ^= (b >> s) & 0xff
+			h *= 1099511628211
+		}
+	}
+	hashes := mpi.Allgather(c, int64(h))
+	h = uint64(14695981039346656037)
+	for _, v := range hashes {
+		h ^= uint64(v)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// TestApplyThreeWayIdentity is the kernel-level identity matrix: blocking,
+// overlapped, and pooled (workers 2 and 4) applications must produce
+// bitwise-identical results, at 1 and 4 ranks.
+func TestApplyThreeWayIdentity(t *testing.T) {
+	for _, p := range []int{1, 4} {
+		var want uint64
+		mpi.RunOpt(p, mpi.RunOptions{Workers: 1}, func(c *mpi.Comm) {
+			if h := applySum(c, true); c.Rank() == 0 {
+				want = h
+			}
+		})
+		cases := []struct {
+			name     string
+			workers  int
+			blocking bool
+		}{
+			{"overlap/w1", 1, false},
+			{"blocking/w2", 2, true},
+			{"overlap/w2", 2, false},
+			{"overlap/w4", 4, false},
+		}
+		for _, tc := range cases {
+			var got uint64
+			mpi.RunOpt(p, mpi.RunOptions{Workers: tc.workers}, func(c *mpi.Comm) {
+				if h := applySum(c, tc.blocking); c.Rank() == 0 {
+					got = h
+				}
+			})
+			if got != want {
+				t.Errorf("p=%d %s: hash %#x, want blocking/w1 hash %#x", p, tc.name, got, want)
+			}
+		}
+	}
+}
+
+// TestBatchPartition checks the batch invariants directly: element ranges
+// tile [0, NumLocal), link windows tile IntLinks/BndLinks, and every
+// batch's links belong to its element range.
+func TestBatchPartition(t *testing.T) {
+	mpi.RunOpt(2, mpi.RunOptions{Workers: 3}, func(c *mpi.Comm) {
+		_, m := buildMesh(c, connectivity.UnitCube(), 1, 3, 2)
+		if len(m.batches) == 0 {
+			t.Fatal("pooled mesh has no batches")
+		}
+		nextElem := 0
+		nInt, nBnd := 0, 0
+		for bi := range m.batches {
+			b := &m.batches[bi]
+			for _, e := range b.elems {
+				if int(e) != nextElem {
+					t.Fatalf("batch %d: element %d out of order (want %d)", bi, e, nextElem)
+				}
+				nextElem++
+			}
+			lo, hi := math.MaxInt32, -1
+			for _, e := range b.elems {
+				if int(e) < lo {
+					lo = int(e)
+				}
+				if int(e) > hi {
+					hi = int(e)
+				}
+			}
+			for _, li := range b.intLinks {
+				nInt++
+				if e := int(m.Links[li].Elem); e < lo || e > hi {
+					t.Fatalf("batch %d: interior link of element %d outside [%d,%d]", bi, e, lo, hi)
+				}
+			}
+			for _, li := range b.bndLinks {
+				nBnd++
+				if e := int(m.Links[li].Elem); e < lo || e > hi {
+					t.Fatalf("batch %d: boundary link of element %d outside [%d,%d]", bi, e, lo, hi)
+				}
+			}
+		}
+		if nextElem != m.NumLocal {
+			t.Fatalf("batches cover %d elements, want %d", nextElem, m.NumLocal)
+		}
+		if nInt != len(m.IntLinks) || nBnd != len(m.BndLinks) {
+			t.Fatalf("batches cover %d/%d interior and %d/%d boundary links",
+				nInt, len(m.IntLinks), nBnd, len(m.BndLinks))
+		}
+	})
+}
+
+// TestSolveDenseMulti pins the pivoting behaviour of the projection
+// operators' dense solver: a system whose leading pivot is zero (a00 = 0)
+// must still solve exactly. Without row pivoting the elimination divides
+// by zero and returns NaNs.
+func TestSolveDenseMulti(t *testing.T) {
+	a := [][]float64{{0, 1}, {2, 1}}
+	b := [][]float64{{1, 3}, {3, 5}}
+	// X = A^{-1} B with A^{-1} = [[-1/2 1/2][1 0]].
+	want := [][]float64{{1, 1}, {1, 3}}
+	x := solveDenseMulti(a, b)
+	for i := range want {
+		for j := range want[i] {
+			if math.IsNaN(x[i][j]) || math.Abs(x[i][j]-want[i][j]) > 1e-14 {
+				t.Fatalf("solveDenseMulti with zero leading pivot: got %v, want %v", x, want)
+			}
+		}
+	}
+}
+
+// TestResolveWorkersEnv covers the AMR_WORKERS fallback chain (explicit
+// beats env beats default) and rejection of invalid values.
+func TestResolveWorkersEnv(t *testing.T) {
+	t.Setenv(mpi.EnvWorkers, "3")
+	if w, err := mpi.ResolveWorkers(0); err != nil || w != 3 {
+		t.Errorf("env fallback: got (%d, %v), want (3, nil)", w, err)
+	}
+	if w, err := mpi.ResolveWorkers(2); err != nil || w != 2 {
+		t.Errorf("explicit override: got (%d, %v), want (2, nil)", w, err)
+	}
+	t.Setenv(mpi.EnvWorkers, "")
+	if w, err := mpi.ResolveWorkers(0); err != nil || w != 1 {
+		t.Errorf("default: got (%d, %v), want (1, nil)", w, err)
+	}
+	for _, bad := range []string{"zero", "0", "-2"} {
+		t.Setenv(mpi.EnvWorkers, bad)
+		if _, err := mpi.ResolveWorkers(0); err == nil {
+			t.Errorf("AMR_WORKERS=%q accepted", bad)
+		}
+	}
+	if _, err := mpi.ResolveWorkers(-1); err == nil {
+		t.Error("ResolveWorkers(-1) accepted")
+	}
+}
+
+// TestWorkersPlumbing checks that RunOpt threads the worker count to
+// Comm.Workers and that the pool exists exactly when workers > 1.
+func TestWorkersPlumbing(t *testing.T) {
+	for _, w := range []int{1, 2} {
+		mpi.RunOpt(2, mpi.RunOptions{Workers: w}, func(c *mpi.Comm) {
+			if got := c.Workers(); got != w {
+				t.Errorf("Comm.Workers() = %d, want %d", got, w)
+			}
+			if (c.Pool() != nil) != (w > 1) {
+				t.Errorf("workers=%d: Pool() nil-ness wrong", w)
+			}
+		})
+	}
+}

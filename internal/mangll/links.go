@@ -294,52 +294,17 @@ func (m *Mesh) ExchangeGhost(nc int, field []float64) {
 	m.StartGhostExchange(nc, field).Finish()
 }
 
-// FaceValues extracts the neighbour's face values for a link, aligned to my
-// face grid, into out (length Nf per component). field is a full
-// local+ghost array with nc values per node; comp selects the component.
-// For LinkToCoarse the coarse neighbour's face is interpolated onto my
-// half-size face; for LinkToFineQuad the fine neighbour's face covers my
-// quadrant directly (callers evaluate at the fine nodes).
+// FaceValues, MyFaceValues, InterpFaceToQuad, ApplyD, LiftFace, and
+// LiftFaceStrided are the serial convenience forms of the Work methods of
+// the same names, delegating to the mesh's Work 0. They exist for callers
+// outside a kernel application (tests, diagnostics, the device backend's
+// host reference); kernel hooks must use the Work they are handed instead
+// — these wrappers share Work 0's scratch with pool worker 0.
+
+// FaceValues extracts the neighbour's face values for a link, aligned to
+// my face grid, into out. See Work.FaceValues.
 func (m *Mesh) FaceValues(l *FaceLink, nc, comp int, field []float64, out []float64) {
-	np1 := m.Np1
-	nbrBase := int(l.Nbr)
-	if l.NbrGhost {
-		nbrBase += m.NumLocal
-	}
-	nbrBase *= m.Np * nc
-	fidx := m.FaceIdx[l.NbrFace]
-
-	// Gather the neighbour's full face in its own frame.
-	nb := m.scratchA()
-	for fn := 0; fn < m.Nf; fn++ {
-		nb[fn] = field[nbrBase+int(fidx[fn])*nc+comp]
-	}
-
-	switch l.Kind {
-	case LinkEqual, LinkToFineQuad:
-		// Direct alignment; for ToFineQuad the neighbour's face maps onto
-		// my quadrant's fine grid one-to-one.
-		for j := 0; j < np1; j++ {
-			for i := 0; i < np1; i++ {
-				i2, j2 := l.MapIndex(m.L.N, i, j)
-				out[i+np1*j] = nb[i2+np1*j2]
-			}
-		}
-	case LinkToCoarse:
-		// Interpolate the coarse face onto my quadrant (in the neighbour's
-		// frame), then align indices.
-		qi, qj := m.quadInterp(l)
-		w := m.scratchB()
-		tensor2ApplyBuf(np1, qi, qj, nb, w, m.scratchC())
-		for j := 0; j < np1; j++ {
-			for i := 0; i < np1; i++ {
-				i2, j2 := l.MapIndex(m.L.N, i, j)
-				out[i+np1*j] = w[i2+np1*j2]
-			}
-		}
-	default:
-		panic("mangll: FaceValues on boundary link")
-	}
+	m.works[0].FaceValues(l, nc, comp, field, out)
 }
 
 // tensor2ApplyBuf computes out = (A (x) B) u on an n x n grid: out[i,j] =
@@ -372,22 +337,9 @@ func tensor2ApplyBuf(n int, a, b []float64, u, out, tmp []float64) {
 }
 
 // MyFaceValues extracts my own element's face values for a link into out.
-// For LinkToFineQuad, my coarse face is interpolated onto the quadrant's
-// fine grid (in my frame) so both sides of the flux are collocated.
+// See Work.MyFaceValues.
 func (m *Mesh) MyFaceValues(l *FaceLink, nc, comp int, field []float64, out []float64) {
-	np1 := m.Np1
-	base := int(l.Elem) * m.Np * nc
-	fidx := m.FaceIdx[l.Face]
-	mine := m.scratchA()
-	for fn := 0; fn < m.Nf; fn++ {
-		mine[fn] = field[base+int(fidx[fn])*nc+comp]
-	}
-	if l.Kind == LinkToFineQuad {
-		qi, qj := m.quadInterp(l)
-		tensor2ApplyBuf(np1, qi, qj, mine, out, m.scratchC())
-		return
-	}
-	copy(out, mine)
+	m.works[0].MyFaceValues(l, nc, comp, field, out)
 }
 
 // quadInterp returns the flat 1D interpolation matrices for the link's
@@ -407,57 +359,19 @@ func (m *Mesh) quadInterp(l *FaceLink) (qi, qj []float64) {
 // InterpFaceToQuad interpolates values given at my full face's nodes onto
 // the fine grid of the link's quadrant (LinkToFineQuad only), in my frame.
 func (m *Mesh) InterpFaceToQuad(l *FaceLink, face, out []float64) {
-	qi, qj := m.quadInterp(l)
-	tensor2ApplyBuf(m.Np1, qi, qj, face, out, m.scratchC())
+	m.works[0].InterpFaceToQuad(l, face, out)
 }
 
 // ApplyD differentiates one element's nodal values along reference
 // direction a. u and out may alias.
 func (m *Mesh) ApplyD(a int, u, out []float64) {
-	if &u[0] == &out[0] {
-		if len(m.sD) < len(u) {
-			m.sD = make([]float64, len(u))
-		}
-		tmp := m.sD[:len(u)]
-		m.applyD1(a, u, tmp)
-		copy(out, tmp)
-		return
-	}
-	m.applyD1(a, u, out)
+	m.works[0].ApplyD(a, u, out)
 }
 
 // LiftFace accumulates the surface contribution of a link into the volume
-// residual: dc[volume node] += MassInv * integral(g * phi) over the face
-// piece the link covers. g holds the flux difference at the link's flux
-// points: my face nodes for LinkEqual/LinkToCoarse, or the quadrant's fine
-// points (my frame) for LinkToFineQuad, where the integral is assembled
-// onto the coarse face basis through the weighted interpolation transpose.
+// residual. See Work.LiftFace.
 func (m *Mesh) LiftFace(l *FaceLink, g, dc []float64) {
-	np1 := m.Np1
-	base := int(l.Elem) * m.Np
-	fidx := m.FaceIdx[l.Face]
-	switch l.Kind {
-	case LinkEqual, LinkToCoarse:
-		for j := 0; j < np1; j++ {
-			for i := 0; i < np1; i++ {
-				fn := i + np1*j
-				vn := base + int(fidx[fn])
-				dc[vn] += m.MassInv[vn] * m.L.W[i] * m.L.W[j] * g[fn]
-			}
-		}
-	case LinkToFineQuad:
-		// Integrated contribution to coarse face nodes: (1/4) * I^T W g per
-		// axis, i.e. apply Pw[i][j] = 0.5*W[j]*I[j][i] in each direction.
-		pwi, pwj := m.quadWeighted(l)
-		gi := m.scratchB()
-		tensor2ApplyBuf(np1, pwi, pwj, g, gi, m.scratchC())
-		for fn := 0; fn < m.Nf; fn++ {
-			vn := base + int(fidx[fn])
-			dc[vn] += m.MassInv[vn] * gi[fn]
-		}
-	default:
-		panic("mangll: LiftFace on boundary link")
-	}
+	m.works[0].LiftFace(l, g, dc)
 }
 
 // weightedTranspose returns Pw[i][j] = 0.5 * W[j] * I[j][i], the half-face
@@ -477,27 +391,7 @@ func weightedTranspose(l *LGL, in [][]float64) [][]float64 {
 // LiftFaceStrided is LiftFace for field arrays with nc interleaved
 // components per node, accumulating into component comp of dc.
 func (m *Mesh) LiftFaceStrided(l *FaceLink, nc, comp int, g, dc []float64) {
-	np1 := m.Np1
-	base := int(l.Elem) * m.Np
-	fidx := m.FaceIdx[l.Face]
-	switch l.Kind {
-	case LinkEqual, LinkToCoarse, LinkBoundary:
-		for j := 0; j < np1; j++ {
-			for i := 0; i < np1; i++ {
-				fn := i + np1*j
-				vn := base + int(fidx[fn])
-				dc[vn*nc+comp] += m.MassInv[vn] * m.L.W[i] * m.L.W[j] * g[fn]
-			}
-		}
-	case LinkToFineQuad:
-		pwi, pwj := m.quadWeighted(l)
-		gi := m.scratchB()
-		tensor2ApplyBuf(np1, pwi, pwj, g, gi, m.scratchC())
-		for fn := 0; fn < m.Nf; fn++ {
-			vn := base + int(fidx[fn])
-			dc[vn*nc+comp] += m.MassInv[vn] * gi[fn]
-		}
-	}
+	m.works[0].LiftFaceStrided(l, nc, comp, g, dc)
 }
 
 // quadWeighted returns the flat weighted-transpose transfer operators for
@@ -514,27 +408,3 @@ func (m *Mesh) quadWeighted(l *FaceLink) (pwi, pwj []float64) {
 	return pwi, pwj
 }
 
-// scratchA/B/C return per-mesh face-sized scratch buffers, allocated once.
-// A Mesh is owned by a single rank goroutine and its face kernels are
-// called serially, so the buffers never alias live data across calls (A
-// and B back distinct roles within one kernel; C is the tensor workspace).
-func (m *Mesh) scratchA() []float64 {
-	if m.sA == nil {
-		m.sA = make([]float64, m.Nf)
-	}
-	return m.sA
-}
-
-func (m *Mesh) scratchB() []float64 {
-	if m.sB == nil {
-		m.sB = make([]float64, m.Nf)
-	}
-	return m.sB
-}
-
-func (m *Mesh) scratchC() []float64 {
-	if m.sC == nil {
-		m.sC = make([]float64, m.Nf)
-	}
-	return m.sC
-}

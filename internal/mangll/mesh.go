@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mpi"
 	"repro/internal/octant"
+	"repro/internal/pool"
 )
 
 // LinkKind classifies a face connection of a local element.
@@ -154,10 +155,20 @@ type Mesh struct {
 	// (used for CFL time-step selection).
 	MinLen float64
 
-	// serially reused face-sized scratch buffers (see scratchA/B/C) and
-	// the element-sized scratch of the aliased ApplyD path.
-	sA, sB, sC []float64
-	sD         []float64
+	// Kernel driver state (see kernel.go): one Work context per pool
+	// worker (works[0] doubles as the serial context behind the Mesh
+	// convenience wrappers), the identity element list handed to serial
+	// Volume hooks, and the fixed deterministic batch partition the pool
+	// path fans out.
+	works    []*Work
+	pool     *pool.Pool
+	allElems []int32
+	batches  []kernelBatch
+	curK     Kernel // kernel of the Apply in progress (pool path only)
+	spanA    []string
+	spanB    []string
+	phaseA   func(worker, batch int)
+	phaseB   func(worker, batch int)
 
 	// element-sized scratch of the transfer (interpolate/project) kernels.
 	tUc, tOc, tAcc, tT1, tT2 []float64
@@ -183,6 +194,7 @@ func NewMesh(f *core.Forest, g *core.GhostLayer, l *LGL) *Mesh {
 	m.iloF, m.ihiF = flatten(m.Ilo), flatten(m.Ihi)
 	m.ploF, m.phiF = flatten(m.Plo), flatten(m.Phi)
 	m.pwloF, m.pwhiF = flatten(m.PwLo), flatten(m.PwHi)
+	m.buildKernelDriver()
 	return m
 }
 

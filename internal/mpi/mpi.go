@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/pool"
 	"repro/internal/trace"
 )
 
@@ -58,6 +59,8 @@ type World struct {
 	tracer  *trace.Tracer // optional; nil disables span recording
 	faults  *faultState   // optional; nil runs the zero-overhead path
 	met     *worldMetrics // optional; nil disables live metric recording
+	workers int           // per-rank kernel worker count (>= 1)
+	pools   []*pool.Pool  // per-rank worker pools; nil when workers == 1
 
 	// aborted flips when a rank dies (panic or injected crash). Blocked
 	// receivers observe it and unwind instead of deadlocking on messages
@@ -96,6 +99,20 @@ func (c *Comm) Size() int { return c.world.size }
 
 // Transport returns the name of the backend this world runs on.
 func (c *Comm) Transport() string { return c.world.tpName }
+
+// Workers returns the per-rank kernel worker count the world was run with
+// (>= 1; 1 means serial kernels).
+func (c *Comm) Workers() int { return c.world.workers }
+
+// Pool returns the calling rank's kernel worker pool, or nil when the
+// world runs with one worker per rank (the serial path). The pool is
+// owned by the rank goroutine: only it may call Start/Wait/Run.
+func (c *Comm) Pool() *pool.Pool {
+	if c.world.pools == nil {
+		return nil
+	}
+	return c.world.pools[c.rank]
+}
 
 // Tracer returns the calling rank's span recorder, or nil when the world
 // runs untraced. All trace.RankTracer methods are nil-safe, so callers may
@@ -155,12 +172,34 @@ func runErr(size int, opts RunOptions, fn func(*Comm) error) error {
 	if err != nil {
 		return err
 	}
-	w := &World{size: size, tracer: tr, tpName: tp.Name()}
+	workers, err := ResolveWorkers(opts.Workers)
+	if err != nil {
+		return err
+	}
+	w := &World{size: size, tracer: tr, tpName: tp.Name(), workers: workers}
 	if opts.Metrics != nil {
 		w.met = newWorldMetrics(opts.Metrics, plan != nil)
 	}
 	if plan != nil {
 		w.faults = newFaultState(plan, size, w.met)
+	}
+	if workers > 1 {
+		// One persistent pool per rank for the world's lifetime; closed
+		// after every rank has joined (workers of a rank that panicked out
+		// of an Apply finish their batch and exit on the closed wake
+		// channel, so teardown never deadlocks).
+		w.pools = make([]*pool.Pool, size)
+		for i := range w.pools {
+			w.pools[i] = pool.New(workers)
+			if opts.Metrics != nil {
+				w.pools[i].Instrument(opts.Metrics, i)
+			}
+		}
+		defer func() {
+			for _, p := range w.pools {
+				p.Close()
+			}
+		}()
 	}
 	w.fab = tp.newFabric(w)
 	defer w.fab.close()

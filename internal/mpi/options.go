@@ -26,6 +26,15 @@ type RunOptions struct {
 	// Empty selects the process default: the AMR_TRANSPORT environment
 	// variable if set, else "chan". See the Transport interface.
 	Transport string
+	// Workers is the per-rank worker-pool size for the mangll kernel
+	// driver (Mesh.Apply): 1 runs kernels serially on the rank goroutine
+	// (byte-identical to pre-pool builds), N > 1 fans element batches out
+	// to N persistent workers per rank. Zero selects the process default:
+	// the AMR_WORKERS environment variable if set, else 1. Results are
+	// bitwise identical for every worker count. Under the shm transport
+	// the GOMAXPROCS raise covers ranks x workers processors (clamped to
+	// NumCPU).
+	Workers int
 }
 
 // RunOpt executes fn on size ranks with the given options, panicking on

@@ -36,10 +36,13 @@ type shmTransport struct{}
 func (shmTransport) Name() string { return "shm" }
 
 func (shmTransport) newFabric(w *World) fabric {
+	// The raise covers the kernel worker pools too: each rank wants its
+	// own processor plus one per extra pool worker, clamped to NumCPU
+	// inside acquireProcs.
 	f := &shmFabric{
 		w:     w,
 		ranks: make([]*ringInbox, w.size),
-		procs: acquireProcs(w.size),
+		procs: acquireProcs(w.size * w.workers),
 	}
 	// Spin before parking only when the host can run every rank at once;
 	// otherwise parking immediately hands the processor to the rank that

@@ -1,0 +1,228 @@
+package pool
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// TestEveryBatchExactlyOnce pins the pool's one hard promise: each batch
+// index in [0, n) runs exactly once per job, for worker counts on both
+// sides of the inline/goroutine split and batch counts around the worker
+// count.
+func TestEveryBatchExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8} {
+		p := New(workers)
+		for _, n := range []int{0, 1, workers - 1, workers, workers + 1, 7 * workers} {
+			if n < 0 {
+				continue
+			}
+			counts := make([]atomic.Int32, n)
+			p.Run(n, func(worker, batch int) {
+				if worker < 0 || worker >= workers {
+					t.Errorf("workers=%d: batch %d ran on out-of-range worker %d", workers, batch, worker)
+				}
+				counts[batch].Add(1)
+			})
+			for b := range counts {
+				if c := counts[b].Load(); c != 1 {
+					t.Errorf("workers=%d n=%d: batch %d ran %d times", workers, n, b, c)
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+// TestStatsAccounting checks the per-job Stats invariants: batch counts
+// sum to the job size, every executed batch with a foreign round-robin
+// home counts as a steal, and workers that claimed nothing are idle with a
+// zero Start.
+func TestStatsAccounting(t *testing.T) {
+	const workers = 4
+	p := New(workers)
+	defer p.Close()
+
+	const n = 13
+	p.Run(n, func(worker, batch int) {})
+	var total, steals int
+	for id, st := range p.Stats() {
+		total += st.Batches
+		steals += st.Steals
+		if st.Batches == 0 {
+			if !st.Start.IsZero() {
+				t.Errorf("worker %d: idle but nonzero Start", id)
+			}
+			if st.Busy != 0 {
+				t.Errorf("worker %d: idle but Busy=%v", id, st.Busy)
+			}
+		} else if st.Start.IsZero() {
+			t.Errorf("worker %d: ran %d batches with zero Start", id, st.Batches)
+		}
+	}
+	if total != n {
+		t.Errorf("batch counts sum to %d, want %d", total, n)
+	}
+
+	// A single-batch job: exactly one worker runs it, the rest are idle.
+	p.Run(1, func(worker, batch int) {})
+	busy := 0
+	for _, st := range p.Stats() {
+		if st.Batches > 0 {
+			busy++
+		}
+	}
+	if busy != 1 {
+		t.Errorf("single-batch job ran on %d workers, want 1", busy)
+	}
+}
+
+// TestInlineStats pins the single-worker path's accounting: all batches on
+// worker 0, no steals, and a second job resets the stats.
+func TestInlineStats(t *testing.T) {
+	p := New(1)
+	defer p.Close()
+	order := []int{}
+	p.Run(5, func(worker, batch int) {
+		if worker != 0 {
+			t.Errorf("inline batch on worker %d", worker)
+		}
+		order = append(order, batch)
+	})
+	for i, b := range order {
+		if b != i {
+			t.Fatalf("inline order %v, want ascending", order)
+		}
+	}
+	st := p.Stats()[0]
+	if st.Batches != 5 || st.Steals != 0 {
+		t.Errorf("inline stats %+v, want 5 batches, 0 steals", st)
+	}
+	p.Run(0, func(worker, batch int) { t.Error("batch body ran for n=0") })
+	if st := p.Stats()[0]; st.Batches != 0 {
+		t.Errorf("stats not reset after empty job: %+v", st)
+	}
+}
+
+// TestPanicPropagates checks that a panicking batch body re-panics out of
+// Wait on the orchestrator — after all workers quiesced — and that the
+// pool remains usable for the next job.
+func TestPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p := New(workers)
+		func() {
+			defer func() {
+				if r := recover(); r != "kernel boom" {
+					t.Errorf("workers=%d: recovered %v, want kernel boom", workers, r)
+				}
+			}()
+			p.Run(8, func(worker, batch int) {
+				if batch == 3 {
+					panic("kernel boom")
+				}
+			})
+			t.Errorf("workers=%d: Run returned normally", workers)
+		}()
+		// The pool must have cleared the panic and be reusable.
+		var ran atomic.Int32
+		p.Run(4, func(worker, batch int) { ran.Add(1) })
+		if ran.Load() != 4 {
+			t.Errorf("workers=%d: post-panic job ran %d/4 batches", workers, ran.Load())
+		}
+		p.Close()
+	}
+}
+
+// TestStartOverlapsOrchestrator checks the split Start/Wait form: the
+// orchestrator can do its own work between the two calls and the job's
+// writes are visible after Wait.
+func TestStartOverlapsOrchestrator(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	const n = 64
+	out := make([]int, n)
+	p.Start(n, func(worker, batch int) { out[batch] = batch + 1 })
+	// Orchestrator-side work while the job drains.
+	sum := 0
+	for i := 0; i < 1000; i++ {
+		sum += i
+	}
+	_ = sum
+	p.Wait()
+	for b, v := range out {
+		if v != b+1 {
+			t.Fatalf("batch %d write lost: got %d", b, v)
+		}
+	}
+}
+
+// TestDoubleStartPanics pins the single-outstanding-job contract.
+func TestDoubleStartPanics(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	block := make(chan struct{})
+	p.Start(2, func(worker, batch int) { <-block })
+	defer func() {
+		if recover() == nil {
+			t.Error("second Start did not panic")
+		}
+		close(block)
+		p.Wait()
+	}()
+	p.Start(1, func(worker, batch int) {})
+}
+
+// TestCloseWithAbandonedJob simulates an orchestrator that panicked
+// between Start and Wait (a rank unwound by a world abort): Close must not
+// deadlock and the workers must exit.
+func TestCloseWithAbandonedJob(t *testing.T) {
+	p := New(4)
+	p.Start(16, func(worker, batch int) {})
+	p.Close() // never Wait
+}
+
+// TestClampAndWorkers checks the constructor clamp.
+func TestClampAndWorkers(t *testing.T) {
+	for _, in := range []int{-3, 0, 1} {
+		p := New(in)
+		if p.Workers() != 1 {
+			t.Errorf("New(%d).Workers() = %d, want 1", in, p.Workers())
+		}
+		p.Close()
+	}
+	p := New(6)
+	if p.Workers() != 6 {
+		t.Errorf("New(6).Workers() = %d", p.Workers())
+	}
+	p.Close()
+}
+
+// TestInstrument checks the pool_* series: jobs count, batch histogram
+// totals, and idle-worker accounting for a job smaller than the pool.
+func TestInstrument(t *testing.T) {
+	reg := metrics.NewSharded(2)
+	p := New(4)
+	defer p.Close()
+	p.Instrument(reg, 1)
+	p.Run(2, func(worker, batch int) {}) // 2 batches over 4 workers: >=2 idle
+	p.Run(8, func(worker, batch int) {})
+
+	if v := reg.Counter("pool_jobs").Value(); v != 2 {
+		t.Errorf("pool_jobs = %d, want 2", v)
+	}
+	if v := reg.Counter("pool_idle_workers").Value(); v < 2 {
+		t.Errorf("pool_idle_workers = %d, want >= 2", v)
+	}
+	// All series record at the instrumented shard, none at shard 0.
+	if v := reg.Counter("pool_jobs").ShardValue(0); v != 0 {
+		t.Errorf("pool_jobs shard 0 = %d, want 0", v)
+	}
+	h := reg.Histogram("pool_batches_per_worker", metrics.UnitNone)
+	if h.Count() != 8 { // 4 workers observed per job, 2 jobs
+		t.Errorf("pool_batches_per_worker count = %d, want 8", h.Count())
+	}
+	if h.Sum() != 10 { // 2 + 8 batches
+		t.Errorf("pool_batches_per_worker sum = %d, want 10", h.Sum())
+	}
+}

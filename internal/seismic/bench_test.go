@@ -51,28 +51,38 @@ func BenchmarkHostVsDeviceStep(b *testing.B) {
 // exchange up front (the pre-overlap baseline). The P∈{1,2,4,8} ×
 // transport matrix is the strong-scaling curve for the wave solver. Run
 // with -benchmem: steady-state allocs/op is pinned by the tests and must
-// stay at zero for P=1.
+// stay at zero for P=1. The /wN sub-cases add the per-rank kernel worker
+// pool; unsuffixed names ran at one worker.
 func BenchmarkSeismicStep(b *testing.B) {
+	step := func(p, workers int, mode, tp string) func(b *testing.B) {
+		return func(b *testing.B) {
+			mpi.RunOpt(p, mpi.RunOptions{Transport: tp, Workers: workers}, func(c *mpi.Comm) {
+				s := overlapSolver(c, mode == "blocking")
+				dt := s.DT()
+				s.Step(dt) // warm up scratch and integrator registers
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					s.Step(dt)
+				}
+				b.StopTimer()
+				if c.Rank() == 0 {
+					m := s.Mesh
+					b.ReportMetric(float64(len(m.BoundaryElems))/float64(m.NumLocal), "bndfrac")
+				}
+			})
+		}
+	}
 	for _, tp := range mpi.Transports() {
 		for _, p := range []int{1, 2, 4, 8} {
 			for _, mode := range []string{"overlap", "blocking"} {
-				b.Run(fmt.Sprintf("P%d/%s/%s", p, mode, tp), func(b *testing.B) {
-					mpi.RunOpt(p, mpi.RunOptions{Transport: tp}, func(c *mpi.Comm) {
-						s := overlapSolver(c, mode == "blocking")
-						dt := s.DT()
-						s.Step(dt) // warm up scratch and integrator registers
-						b.ResetTimer()
-						for i := 0; i < b.N; i++ {
-							s.Step(dt)
-						}
-						b.StopTimer()
-						if c.Rank() == 0 {
-							m := s.Mesh
-							b.ReportMetric(float64(len(m.BoundaryElems))/float64(m.NumLocal), "bndfrac")
-						}
-					})
-				})
+				b.Run(fmt.Sprintf("P%d/%s/%s", p, mode, tp), step(p, 1, mode, tp))
 			}
+		}
+		// The workers axis at fixed P (overlap mode): pool fan-out inside
+		// each rank, compared against the same P at w=1.
+		for _, w := range []int{2, 4} {
+			b.Run(fmt.Sprintf("P1/overlap/%s/w%d", tp, w), step(1, w, "overlap", tp))
+			b.Run(fmt.Sprintf("P4/overlap/%s/w%d", tp, w), step(4, w, "overlap", tp))
 		}
 	}
 }

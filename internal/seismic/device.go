@@ -109,10 +109,11 @@ func NewDevice(s *Solver) *Device {
 	xs := make([][3]float64, m.Nf)
 	area := make([][3]float64, m.Nf)
 	d.links = make([]devLink, len(m.Links))
+	w0 := m.SerialWork()
 	for li := range m.Links {
 		l := &m.Links[li]
 		dl := devLink{l: l, boundary: l.Kind == mangll.LinkBoundary}
-		s.fluxGeometry(l, xs, area)
+		s.fluxGeometry(w0, l, xs, area)
 		nf := m.Nf
 		dl.n = make([][3]float32, nf)
 		dl.sa = make([]float32, nf)

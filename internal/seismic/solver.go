@@ -59,23 +59,51 @@ type Solver struct {
 	rk  mangll.LSRK45
 	buf []float64 // local+ghost work array
 
-	// Hot-path scratch, allocated once per mesh so RHS is allocation-free
-	// in steady state.
-	rSig            [][6]float64 // np
-	rDer, rField    []float64    // np
-	rGrads          [][3]float64 // np*NC
-	rMine, rTheirs  []float64    // nf*NC
-	rXs, rArea      [][3]float64 // nf
-	rFm, rFp        []float64    // NC
-	rGAll           [][]float64  // NC x nf
-	rComp, rFx, rFq []float64    // nf
-	rhsFn           func(tt float64, u, du []float64)
+	// Per-worker hot-path scratch, allocated once per mesh so RHS is
+	// allocation-free in steady state. One entry per kernel worker; the
+	// serial path uses ws[0].
+	ws    []seisScratch
+	kern  seisKernel
+	kQ    []float64 // RHS input/output of the Apply in progress
+	kDQ   []float64
+	rhsFn func(tt float64, u, du []float64)
 
 	// Source, if non-nil, adds a body-force density to the velocity
-	// equations: f(t, x).
+	// equations: f(t, x). Like MatFn it must be pure: kernel hooks may
+	// evaluate it from pool workers.
 	Source func(t float64, p [3]float64) [3]float64
 
 	maxVp float64
+}
+
+// seisScratch is one worker's kernel buffers.
+type seisScratch struct {
+	sig          [][6]float64 // np
+	der, field   []float64    // np
+	grads        [][3]float64 // np*NC
+	mine, theirs []float64    // nf*NC
+	xs, area     [][3]float64 // nf
+	fm, fp       []float64    // NC
+	gAll         [][]float64  // NC x nf
+	comp, fx, fq []float64    // nf
+}
+
+// seisKernel adapts the solver to the mangll.Kernel interface. It is a
+// field of Solver so the interface conversion (&s.kern) never allocates.
+type seisKernel struct{ s *Solver }
+
+func (k *seisKernel) NumComps() int { return NC }
+
+func (k *seisKernel) Volume(w *mangll.Work, elems []int32) {
+	k.s.volumeTerm(w, elems, k.s.kQ, k.s.kDQ)
+}
+
+func (k *seisKernel) InteriorFace(w *mangll.Work, links []int32) {
+	k.s.surfaceTerm(w, links, k.s.kQ, k.s.kDQ)
+}
+
+func (k *seisKernel) BoundaryFace(w *mangll.Work, links []int32) {
+	k.s.surfaceTerm(w, links, k.s.kQ, k.s.kDQ)
 }
 
 // NewSolver builds a solver over an existing (balanced, partitioned)
@@ -90,6 +118,7 @@ func NewSolver(comm *mpi.Comm, f *core.Forest, opts Options, matFn func(p [3]flo
 	s.hRHS = s.Met.Histogram("rhs", metrics.UnitDuration)
 	s.hExch = s.Met.Histogram("exchange", metrics.UnitDuration)
 	s.hStep = s.Met.Histogram("waveprop", metrics.UnitDuration)
+	s.kern = seisKernel{s: s}
 	// One closure for the integrator, built once so Step allocates nothing.
 	s.rhsFn = func(tt float64, u, du []float64) { s.RHS(tt, u, du) }
 	s.rebuild()
@@ -112,23 +141,27 @@ func (s *Solver) rebuild() {
 	s.maxVp = mpi.AllreduceMax(s.Comm, vp)
 	s.buf = make([]float64, (m.NumLocal+m.NumGhost)*m.Np*NC)
 	np, nf := m.Np, m.Nf
-	s.rSig = make([][6]float64, np)
-	s.rDer = make([]float64, np)
-	s.rField = make([]float64, np)
-	s.rGrads = make([][3]float64, np*NC)
-	s.rMine = make([]float64, nf*NC)
-	s.rTheirs = make([]float64, nf*NC)
-	s.rXs = make([][3]float64, nf)
-	s.rArea = make([][3]float64, nf)
-	s.rFm = make([]float64, NC)
-	s.rFp = make([]float64, NC)
-	s.rGAll = make([][]float64, NC)
-	for c := range s.rGAll {
-		s.rGAll[c] = make([]float64, nf)
+	s.ws = make([]seisScratch, s.Comm.Workers())
+	for w := range s.ws {
+		sc := &s.ws[w]
+		sc.sig = make([][6]float64, np)
+		sc.der = make([]float64, np)
+		sc.field = make([]float64, np)
+		sc.grads = make([][3]float64, np*NC)
+		sc.mine = make([]float64, nf*NC)
+		sc.theirs = make([]float64, nf*NC)
+		sc.xs = make([][3]float64, nf)
+		sc.area = make([][3]float64, nf)
+		sc.fm = make([]float64, NC)
+		sc.fp = make([]float64, NC)
+		sc.gAll = make([][]float64, NC)
+		for c := range sc.gAll {
+			sc.gAll[c] = make([]float64, nf)
+		}
+		sc.comp = make([]float64, nf)
+		sc.fx = make([]float64, nf)
+		sc.fq = make([]float64, nf)
 	}
-	s.rComp = make([]float64, nf)
-	s.rFx = make([]float64, nf)
-	s.rFq = make([]float64, nf)
 }
 
 // DT returns the CFL-limited time step.
@@ -174,11 +207,11 @@ func fluxNormal(mat *Material, q []float64, n [3]float64, out []float64) {
 // dissipative Rusanov interface flux and the free-surface boundary flux.
 //
 // As in dGea, the ghost exchange is hidden behind element-local work: the
-// exchange runs split-phase, with volume kernels and interior face
-// kernels (including the free-surface flux, which needs no remote data)
-// executing while the messages are in flight, and only the partition-
-// boundary face kernels waiting for Finish. NoOverlap runs the same
-// kernels in the same order after a blocking exchange, so both paths are
+// schedule — split-phase exchange overlapped with the volume and interior
+// face kernels (including the free-surface flux, which needs no remote
+// data), optional worker-pool fan-out — lives in mangll's kernel driver;
+// the solver supplies the hooks (seisKernel). NoOverlap selects the
+// blocking baseline. Blocking, overlapped, and pooled execution are
 // bitwise equal.
 func (s *Solver) RHS(t float64, q, dq []float64) {
 	m := s.Mesh
@@ -186,22 +219,14 @@ func (s *Solver) RHS(t float64, q, dq []float64) {
 	tRHS := time.Now()
 	copy(s.buf[:m.NumLocal*np*NC], q)
 
+	s.kQ, s.kDQ = q, dq
+	var wait time.Duration
 	if s.Opts.NoOverlap {
-		t0 := time.Now()
-		m.ExchangeGhost(NC, s.buf)
-		s.hExch.ObserveDuration(time.Since(t0))
-		s.volumeTerm(q, dq)
-		s.surfaceTerm(m.IntLinks, q, dq)
-		s.surfaceTerm(m.BndLinks, q, dq)
+		wait = m.ApplyBlocking(&s.kern, s.buf)
 	} else {
-		ex := m.StartGhostExchange(NC, s.buf)
-		s.volumeTerm(q, dq)
-		s.surfaceTerm(m.IntLinks, q, dq)
-		t0 := time.Now()
-		ex.Finish()
-		s.hExch.ObserveDuration(time.Since(t0))
-		s.surfaceTerm(m.BndLinks, q, dq)
+		wait = m.Apply(&s.kern, s.buf)
 	}
+	s.hExch.ObserveDuration(wait)
 
 	// Body-force source.
 	if s.Source != nil {
@@ -216,17 +241,18 @@ func (s *Solver) RHS(t float64, q, dq []float64) {
 	s.hRHS.ObserveDuration(time.Since(tRHS))
 }
 
-// volumeTerm accumulates the non-conservative volume derivatives of every
-// local element into dq.
-func (s *Solver) volumeTerm(q, dq []float64) {
+// volumeTerm accumulates the non-conservative volume derivatives of the
+// given local elements into dq.
+func (s *Solver) volumeTerm(w *mangll.Work, elems []int32, q, dq []float64) {
 	t0 := time.Now()
 	m := s.Mesh
 	np := m.Np
-	sig, der, field := s.rSig, s.rDer, s.rField
+	sc := &s.ws[w.ID()]
+	sig, der, field := sc.sig, sc.der, sc.field
 	// dfdx[b][comp index in a 9-slot layout]
-	grads := s.rGrads
-	for e := 0; e < m.NumLocal; e++ {
-		base := e * np
+	grads := sc.grads
+	for _, e := range elems {
+		base := int(e) * np
 		// stress at nodes
 		for nn := 0; nn < np; nn++ {
 			i := (base + nn) * NC
@@ -247,7 +273,7 @@ func (s *Solver) volumeTerm(q, dq []float64) {
 				grads[nn*NC+c] = [3]float64{}
 			}
 			for r := 0; r < 3; r++ {
-				m.ApplyD(r, field, der)
+				w.ApplyD(r, field, der)
 				for nn := 0; nn < np; nn++ {
 					gj := 1 / m.Jac[base+nn]
 					g := &grads[nn*NC+c]
@@ -280,30 +306,31 @@ func (s *Solver) volumeTerm(q, dq []float64) {
 // surfaceTerm accumulates the face fluxes of the given links (indices
 // into Mesh.Links) into dq. Free-surface boundary links are part of the
 // interior set — they read only local data.
-func (s *Solver) surfaceTerm(links []int32, q, dq []float64) {
+func (s *Solver) surfaceTerm(w *mangll.Work, links []int32, q, dq []float64) {
 	t0 := time.Now()
 	m := s.Mesh
 	nf := m.Nf
-	mine, theirs := s.rMine, s.rTheirs
-	xs, area := s.rXs, s.rArea
-	fm, fp := s.rFm, s.rFp
-	gAll, comp := s.rGAll, s.rComp
+	sc := &s.ws[w.ID()]
+	mine, theirs := sc.mine, sc.theirs
+	xs, area := sc.xs, sc.area
+	fm, fp := sc.fm, sc.fp
+	gAll, comp := sc.gAll, sc.comp
 	for _, li := range links {
 		l := &m.Links[li]
 		if l.Kind == mangll.LinkBoundary {
-			s.boundaryFlux(l, q, gAll, comp, xs, area)
+			s.boundaryFlux(w, l, gAll, comp, xs, area)
 			for c := 0; c < NC; c++ {
-				s.liftComp(l, c, gAll[c], dq)
+				s.liftComp(w, l, c, gAll[c], dq)
 			}
 			continue
 		}
 		for c := 0; c < NC; c++ {
-			m.MyFaceValues(l, NC, c, s.buf, comp)
+			w.MyFaceValues(l, NC, c, s.buf, comp)
 			copy(mine[c*nf:(c+1)*nf], comp)
-			m.FaceValues(l, NC, c, s.buf, comp)
+			w.FaceValues(l, NC, c, s.buf, comp)
 			copy(theirs[c*nf:(c+1)*nf], comp)
 		}
-		s.fluxGeometry(l, xs, area)
+		s.fluxGeometry(w, l, xs, area)
 		for fn := 0; fn < nf; fn++ {
 			av := area[fn]
 			sa := math.Sqrt(av[0]*av[0] + av[1]*av[1] + av[2]*av[2])
@@ -326,7 +353,7 @@ func (s *Solver) surfaceTerm(links []int32, q, dq []float64) {
 			}
 		}
 		for c := 0; c < NC; c++ {
-			s.liftComp(l, c, gAll[c], dq)
+			s.liftComp(w, l, c, gAll[c], dq)
 		}
 	}
 	s.Met.AddDuration("surface", time.Since(t0))
@@ -334,19 +361,20 @@ func (s *Solver) surfaceTerm(links []int32, q, dq []float64) {
 
 // fluxGeometry evaluates the physical coordinates and outward area vectors
 // at the link's flux points.
-func (s *Solver) fluxGeometry(l *mangll.FaceLink, xs, area [][3]float64) {
+func (s *Solver) fluxGeometry(w *mangll.Work, l *mangll.FaceLink, xs, area [][3]float64) {
 	m := s.Mesh
 	e := int(l.Elem)
 	nf := m.Nf
-	fx := s.rFx
+	sc := &s.ws[w.ID()]
+	fx := sc.fx
 	for a := 0; a < 3; a++ {
 		for fn := 0; fn < nf; fn++ {
 			vn := int(m.FaceIdx[l.Face][fn])
 			fx[fn] = m.X[a][e*m.Np+vn]
 		}
 		if l.Kind == mangll.LinkToFineQuad {
-			out := s.rFq
-			m.InterpFaceToQuad(l, fx, out)
+			out := sc.fq
+			w.InterpFaceToQuad(l, fx, out)
 			for fn := 0; fn < nf; fn++ {
 				xs[fn][a] = out[fn]
 			}
@@ -359,8 +387,8 @@ func (s *Solver) fluxGeometry(l *mangll.FaceLink, xs, area [][3]float64) {
 			fx[fn] = m.FaceArea[l.Face][a][e*nf+fn]
 		}
 		if l.Kind == mangll.LinkToFineQuad {
-			out := s.rFq
-			m.InterpFaceToQuad(l, fx, out)
+			out := sc.fq
+			w.InterpFaceToQuad(l, fx, out)
 			for fn := 0; fn < nf; fn++ {
 				area[fn][a] = out[fn]
 			}
@@ -374,13 +402,13 @@ func (s *Solver) fluxGeometry(l *mangll.FaceLink, xs, area [][3]float64) {
 
 // boundaryFlux applies the free-surface condition sigma.n = 0 weakly:
 // the traction is reflected, velocities pass through.
-func (s *Solver) boundaryFlux(l *mangll.FaceLink, q []float64, gAll [][]float64, comp []float64, xs, area [][3]float64) {
+func (s *Solver) boundaryFlux(w *mangll.Work, l *mangll.FaceLink, gAll [][]float64, comp []float64, xs, area [][3]float64) {
 	m := s.Mesh
 	nf := m.Nf
-	s.fluxGeometry(l, xs, area)
-	mine := s.rMine
+	s.fluxGeometry(w, l, xs, area)
+	mine := s.ws[w.ID()].mine
 	for c := 0; c < NC; c++ {
-		m.MyFaceValues(l, NC, c, s.buf, comp)
+		w.MyFaceValues(l, NC, c, s.buf, comp)
 		copy(mine[c*nf:(c+1)*nf], comp)
 	}
 	for fn := 0; fn < nf; fn++ {
@@ -415,10 +443,9 @@ func (s *Solver) boundaryFlux(l *mangll.FaceLink, q []float64, gAll [][]float64,
 }
 
 // liftComp lifts one component's integrated face flux into dq.
-func (s *Solver) liftComp(l *mangll.FaceLink, c int, g []float64, dq []float64) {
-	m := s.Mesh
+func (s *Solver) liftComp(w *mangll.Work, l *mangll.FaceLink, c int, g []float64, dq []float64) {
 	// LiftFace works on stride-1 fields; use a strided adapter.
-	m.LiftFaceStrided(l, NC, c, g, dq)
+	w.LiftFaceStrided(l, NC, c, g, dq)
 }
 
 // Step advances one LSRK4(5) step.

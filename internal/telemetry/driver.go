@@ -34,6 +34,8 @@ type Driver struct {
 	manifestPath string
 	transport    string
 	resolvedTP   string
+	workers      int
+	resolvedW    int
 	world        *metrics.Registry
 	manifest     *Manifest
 }
@@ -49,12 +51,18 @@ func NewDriver(command string) *Driver {
 	flag.StringVar(&d.transport, "transport", "",
 		"rank fabric backend ("+strings.Join(mpi.Transports(), "|")+
 			"); empty uses $"+mpi.EnvTransport+" if set, else "+mpi.DefaultTransport)
+	flag.IntVar(&d.workers, "workers", 0,
+		"kernel worker threads per rank; 0 uses $"+mpi.EnvWorkers+" if set, else 1")
 	return d
 }
 
 // Transport returns the resolved fabric backend name for the run. Valid
 // only after Start.
 func (d *Driver) Transport() string { return d.resolvedTP }
+
+// Workers returns the resolved per-rank kernel worker count. Valid only
+// after Start.
+func (d *Driver) Workers() int { return d.resolvedW }
 
 // Enabled reports whether any telemetry output was requested.
 func (d *Driver) Enabled() bool { return d.addr != "" || d.manifestPath != "" }
@@ -69,6 +77,13 @@ func (d *Driver) Start() error {
 		return err
 	}
 	d.resolvedTP = tp.Name()
+	// Same for the worker count: a bad -workers (or AMR_WORKERS) fails
+	// here, not after the mesh is built.
+	w, err := mpi.ResolveWorkers(d.workers)
+	if err != nil {
+		return err
+	}
+	d.resolvedW = w
 	if !d.Enabled() {
 		return nil
 	}
@@ -76,6 +91,7 @@ func (d *Driver) Start() error {
 	if d.manifestPath != "" {
 		d.manifest = NewManifest(d.Command)
 		d.manifest.Transport = d.resolvedTP
+		d.manifest.Workers = d.resolvedW
 	}
 	if d.addr != "" {
 		addr, err := d.Server.ListenAndServe(d.addr)

@@ -27,6 +27,9 @@ type Manifest struct {
 	// Transport records the resolved rank-fabric backend the run used —
 	// scaling numbers are meaningless without it.
 	Transport string `json:"transport,omitempty"`
+	// Workers records the resolved per-rank kernel worker count, the other
+	// half of the run's parallel configuration.
+	Workers int `json:"workers,omitempty"`
 
 	Phases   []PhaseSummary   `json:"phases,omitempty"`
 	Counters map[string]int64 `json:"counters,omitempty"`

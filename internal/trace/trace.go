@@ -403,6 +403,39 @@ func (r *RankTracer) AddWait(name string, d time.Duration) {
 	}
 }
 
+// AddCompleted records a leaf span that was measured elsewhere — e.g. on
+// a kernel-pool worker goroutine whose writes were published to the rank
+// before this call — as a completed event starting at wall time start and
+// lasting d. The recording itself still happens on the owning rank
+// goroutine (the pool orchestrator emits its workers' spans after joining
+// the job), which is what keeps the buffers single-writer. start is
+// converted onto the tracer's monotonic epoch clock.
+func (r *RankTracer) AddCompleted(name string, cat Category, start time.Time, d time.Duration) {
+	if r == nil || d < 0 {
+		return
+	}
+	rel := r.tracer.now() - time.Since(start)
+	if r.ring != nil {
+		r.observe(name, cat, d)
+		r.push(Event{
+			Name:  name,
+			Cat:   cat,
+			Start: rel,
+			Dur:   d,
+			Depth: len(r.open),
+		})
+		return
+	}
+	r.observe(name, cat, d)
+	r.events = append(r.events, Event{
+		Name:  name,
+		Cat:   cat,
+		Start: rel,
+		Dur:   d,
+		Depth: len(r.stack),
+	})
+}
+
 // Mark records an instant (zero-duration) leaf event of the given
 // category at the current time — the form the fault-injection layer uses
 // for injected drops, duplicates, and retries. Like every RankTracer
