@@ -3,9 +3,9 @@
 # so plain `go test` is not enough). CI runs `make verify`.
 
 GO ?= go
-PR ?= 8
+PR ?= 9
 
-.PHONY: verify vet build test test-race bench bench-smoke bench-record fig4 chaos telemetry-smoke
+.PHONY: verify vet build test test-race bench bench-smoke bench-record fig4 fig4-highp chaos telemetry-smoke
 
 verify: vet build test-race
 
@@ -31,16 +31,19 @@ bench:
 # in normal builds).
 bench-smoke:
 	$(GO) test -run '^$$' -bench=Collectives -benchtime=1x -timeout 5m ./internal/mpi/
+	$(GO) test -run '^$$' -bench='^(BenchmarkBalance|BenchmarkGhost)$$/ranks64' -benchtime=1x -timeout 5m ./internal/core/
 	$(GO) test -run '^$$' -bench='Benchmark(Advect|Seismic)Step' -benchtime=1x -benchmem -timeout 5m ./internal/advect/ ./internal/seismic/
 	$(GO) test -run 'Allocs' -timeout 5m ./internal/mangll/ ./internal/advect/ ./internal/seismic/
 	GOMAXPROCS=4 $(GO) test -run '^$$' -bench='BenchmarkAdvectStep/P4/overlap/(chan|shm)$$' -benchtime=1x -timeout 5m ./internal/advect/
 	GOMAXPROCS=4 $(GO) test -run '^$$' -bench='BenchmarkAdvectStep/P1/overlap/(chan|shm)/w4$$' -benchtime=1x -timeout 5m ./internal/advect/
 
-# Archive the solver step benchmarks (ns/op, B/op, allocs/op) as
-# BENCH_$(PR).json for cross-PR comparison. The Telemetry variant rides
-# along so the telemetry-on overhead is part of the archived record.
+# Archive the solver step benchmarks (ns/op, B/op, allocs/op) plus the
+# core Balance/Ghost high-P benchmarks as BENCH_$(PR).json for cross-PR
+# comparison. The Telemetry variant rides along so the telemetry-on
+# overhead is part of the archived record.
 bench-record:
-	$(GO) test -run '^$$' -bench='Benchmark(Advect|Seismic)Step' -benchtime=10x -benchmem -timeout 10m ./internal/advect/ ./internal/seismic/ \
+	{ $(GO) test -run '^$$' -bench='Benchmark(Advect|Seismic)Step' -benchtime=10x -benchmem -timeout 10m ./internal/advect/ ./internal/seismic/ ; \
+	  $(GO) test -run '^$$' -bench='^(BenchmarkBalance|BenchmarkGhost)$$' -benchtime=5x -timeout 10m ./internal/core/ ; } \
 		| $(GO) run ./cmd/benchjson > BENCH_$(PR).json
 
 # Live-endpoint smoke: run cmd/advect with -telemetry, scrape /metrics and
@@ -66,3 +69,11 @@ chaos:
 # and recv-wait columns) into results/.
 fig4:
 	$(GO) run ./cmd/scaling -steps 3 > results/fig4_scaling.txt
+
+# High-emulated-rank-count smoke: the full Fig-4 pipeline at P=256 on a
+# small fractal forest, on the chan transport (the shm backend allocates
+# P^2 rings and is not meant for high P). Exercises the recursive
+# Balance/Ghost at partition counts far above what the unit tests use;
+# CI runs this with a hard timeout.
+fig4-highp:
+	AMR_TRANSPORT=chan $(GO) run ./cmd/scaling -ranks 256 -base-level 1

@@ -12,6 +12,7 @@
 //
 //	go run ./cmd/scaling -base-level 1 -steps 3
 //	go run ./cmd/scaling -steps 2 -trace /tmp/t.json -profile /tmp/cpu.pprof
+//	go run ./cmd/scaling -ranks 256,512,1024 -base-level 1
 package main
 
 import (
@@ -20,6 +21,8 @@ import (
 	"log"
 	"os"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 
 	"repro/internal/experiments"
 	"repro/internal/telemetry"
@@ -42,6 +45,7 @@ func main() {
 	baseLevel := flag.Int("base-level", 1, "refinement level of the smallest run")
 	baseRanks := flag.Int("base-ranks", 1, "rank count of the smallest run")
 	steps := flag.Int("steps", 3, "number of 8x weak-scaling steps")
+	rankList := flag.String("ranks", "", "comma-separated rank counts to sweep at fixed -base-level (overrides -base-ranks/-steps; use the chan transport for high P)")
 	tracePath := flag.String("trace", "", "write the largest run's Chrome trace-event JSON here")
 	profilePath := flag.String("profile", "", "write a CPU profile (pprof) of all runs here")
 	tel := telemetry.NewDriver("scaling")
@@ -73,14 +77,36 @@ func main() {
 		"new", "refine", "part", "balance", "ghost", "nodes",
 		"bal s/Moct", "nodes s/Moct")
 
+	// The default sweep multiplies ranks by 8 per level increment (weak
+	// scaling); -ranks replaces it with an explicit rank list at the fixed
+	// base level (strong-scaling / high-P message-count sweeps).
+	type runSpec struct {
+		ranks int
+		level int8
+	}
+	var specs []runSpec
+	if *rankList != "" {
+		for _, tok := range strings.Split(*rankList, ",") {
+			p, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil || p < 1 {
+				log.Fatalf("-ranks: bad rank count %q", tok)
+			}
+			specs = append(specs, runSpec{p, int8(*baseLevel)})
+		}
+	} else {
+		for i := 0; i < *steps; i++ {
+			ranks := *baseRanks
+			for j := 0; j < i; j++ {
+				ranks *= 8
+			}
+			specs = append(specs, runSpec{ranks, int8(*baseLevel + i)})
+		}
+	}
+
 	var rows []experiments.Fig4Row
 	var lastTracer *trace.Tracer
-	for i := 0; i < *steps; i++ {
-		ranks := *baseRanks
-		for j := 0; j < i; j++ {
-			ranks *= 8
-		}
-		level := int8(*baseLevel + i)
+	for _, spec := range specs {
+		ranks, level := spec.ranks, spec.level
 		tr := trace.New(ranks)
 		world, runTr := tel.BeginRun(ranks, tr)
 		row := experiments.RunFig4Obs(ranks, level,
@@ -106,10 +132,11 @@ func main() {
 	}
 
 	fmt.Println()
-	fmt.Println("Communication volume (aggregate payload bytes sent, per-tag stats):")
+	fmt.Println("Communication volume (aggregate payload bytes and messages sent, per-tag stats):")
 	for _, r := range rows {
-		fmt.Printf("  ranks %6d: partition %9s  balance %9s  ghost %9s\n",
-			r.Ranks, fmtBytes(r.PartBytes), fmtBytes(r.BalBytes), fmtBytes(r.GhostBytes))
+		fmt.Printf("  ranks %6d: partition %9s /%7d msgs  balance %9s /%7d msgs  ghost %9s /%7d msgs  meta %s/rank\n",
+			r.Ranks, fmtBytes(r.PartBytes), r.PartMsgs, fmtBytes(r.BalBytes), r.BalMsgs,
+			fmtBytes(r.GhostBytes), r.GhostMsgs, fmtBytes(r.MetaBytes))
 	}
 
 	fmt.Println()

@@ -13,9 +13,10 @@ func TestAccessorsAndSearchHelpers(t *testing.T) {
 	mpi.Run(3, func(c *mpi.Comm) {
 		f := New(c, conn, 2)
 		// GlobalFirst is consistent with the rank counts.
+		counts := f.RankCounts()
 		var before int64
 		for r := 0; r < c.Rank(); r++ {
-			before += f.RankCounts()[r]
+			before += counts[r]
 		}
 		if f.GlobalFirst() != before {
 			t.Errorf("GlobalFirst = %d, want %d", f.GlobalFirst(), before)

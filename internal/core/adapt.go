@@ -32,7 +32,7 @@ func (f *Forest) Refine(recursive bool, maxLevel int8, shouldRefine func(octant.
 		expand(o)
 	}
 	f.Local = out
-	f.syncMeta()
+	f.syncCounts()
 }
 
 // Coarsen replaces complete local families of eight sibling leaves by their
@@ -69,7 +69,7 @@ func (f *Forest) Coarsen(recursive bool, shouldCoarsen func(parent octant.Octant
 			break
 		}
 	}
-	f.syncMeta()
+	f.syncCounts()
 }
 
 // RefineAll uniformly refines every local leaf once.

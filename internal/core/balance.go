@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"repro/internal/mpi"
 	"repro/internal/octant"
 )
@@ -34,33 +32,57 @@ type demand struct {
 // including across inter-tree faces, edges, and corners with arbitrary
 // relative rotations, by local refinement where necessary.
 //
-// The implementation is an iterative ripple protocol: each round, every
-// rank derives from its leaves the set of demand octants (the same-size
-// neighbour images in all 26 directions, which package connectivity
-// transforms across the macro-structure), routes demands overlapping remote
-// curve segments to their owners, and refines any local leaf that is more
-// than one level coarser than a demand overlapping it. An Allreduce
-// detects the global fixpoint. Because every refinement is forced by the
+// The implementation follows the recursive scheme of arXiv:1406.0089,
+// replacing the old global ripple (one full demand collect → route →
+// refine → AllreduceOr cycle per round, with an unbounded round count).
+// Phase 1 drives the local subtree balance to a communication-free
+// fixpoint: demands whose regions overlap the local curve segment are
+// applied immediately, and each iteration reseeds only from the leaves it
+// just created. Phase 2 runs a small, bounded number of inter-rank demand
+// exchanges: the first round derives candidate demands from the partition
+// boundary alone (the recursive traversal prunes interior subtrees), later
+// rounds only from the previous round's newly created leaves, and every
+// demand region is sent at most once per level (deduplicated against all
+// prior rounds). One AllreduceOr per round detects that no rank has
+// anything left to send, so the exchange count is the demand cascade depth
+// — ≤2 on the Fig-4 fractal workload, pinned by test.
+//
+// Because refinement is monotone and every refinement is forced by the
 // balance condition, the fixpoint is the unique minimal 2:1-balanced
-// refinement — the same forest p4est's Balance produces.
+// refinement: bitwise identical (same Checksum) to the old ripple, which
+// the tests pin against the preserved reference implementation.
 func (f *Forest) Balance(kind BalanceKind) {
 	tr := f.Comm.Tracer()
 	defer tr.StartSpan("balance")()
-	round := 0
-	for ; ; round++ {
-		tr.Begin("balance.round")
-		demands := f.collectDemands(kind)
-		routed := f.routeDemands(demands)
-		changed := f.applyDemands(routed)
-		done := !mpi.AllreduceOr(f.Comm, changed)
-		tr.End()
-		if done {
+
+	tr.Begin("balance.local")
+	f.localBalance(kind, nil)
+	tr.End()
+
+	sent := make(map[octant.Octant]int8)
+	var frontier []octant.Octant
+	exchanges := 0
+	for {
+		out := f.remoteDemands(kind, frontier, exchanges == 0, sent)
+		if !mpi.AllreduceOr(f.Comm, len(out) > 0) {
 			break
 		}
+		tr.Begin("balance.round")
+		exchanges++
+		in := mpi.SparseExchange(f.Comm, out, TagBalance)
+		var mine []demand
+		for _, ds := range in {
+			mine = append(mine, ds...)
+		}
+		created := f.applyDemands(mine)
+		created = append(created, f.localBalance(kind, created)...)
+		frontier = created
+		tr.End()
 	}
-	f.BalanceRounds = round + 1
-	tr.Arg("rounds", int64(f.BalanceRounds))
-	f.syncMeta()
+	f.BalanceRounds = exchanges
+	tr.Arg("rounds", int64(exchanges))
+	f.addCounter("balance_rounds", int64(exchanges))
+	f.syncCounts()
 }
 
 // neighborsFor enumerates the same-size neighbour images of o covered by
@@ -83,62 +105,127 @@ func (f *Forest) neighborsFor(o octant.Octant, kind BalanceKind) []octant.Octant
 	return out
 }
 
-// collectDemands derives the demand set from the current local leaves,
-// deduplicated keeping the strongest level requirement.
-func (f *Forest) collectDemands(kind BalanceKind) map[octant.Octant]int8 {
+// localBalance drives the communication-free part of Balance to a local
+// fixpoint: starting from the seed leaves (nil means every local leaf), it
+// derives the demands whose regions overlap the local segment, refines the
+// violating local leaves, and feeds each iteration's newly created leaves
+// back in as the next seed frontier. Returns every leaf it created.
+func (f *Forest) localBalance(kind BalanceKind, seeds []octant.Octant) []octant.Octant {
+	var created []octant.Octant
+	all := seeds == nil
+	for {
+		demands := make(map[octant.Octant]int8)
+		add := func(o octant.Octant) {
+			if o.Level < 1 {
+				return
+			}
+			min := o.Level - 1
+			for _, n := range f.neighborsFor(o, kind) {
+				if !f.overlapsLocal(n) {
+					continue
+				}
+				if cur, ok := demands[n]; !ok || cur < min {
+					demands[n] = min
+				}
+			}
+		}
+		if all {
+			for _, o := range f.Local {
+				add(o)
+			}
+			all = false
+		} else {
+			for _, o := range seeds {
+				add(o)
+			}
+		}
+		if len(demands) == 0 {
+			return created
+		}
+		ds := make([]demand, 0, len(demands))
+		for o, min := range demands {
+			ds = append(ds, demand{O: o, MinLevel: min})
+		}
+		fresh := f.applyDemands(ds)
+		if len(fresh) == 0 {
+			return created
+		}
+		created = append(created, fresh...)
+		seeds = fresh
+	}
+}
+
+// remoteDemands derives the demands whose regions overlap remote curve
+// segments and buckets them by owner rank. The first exchange round (all
+// == true) enumerates candidates via the recursive boundary traversal —
+// interior subtrees are pruned wholesale — while later rounds consider
+// only the frontier of newly created leaves. sent records the strongest
+// level already shipped per region across rounds, so nothing is sent
+// twice.
+func (f *Forest) remoteDemands(kind BalanceKind, frontier []octant.Octant, all bool, sent map[octant.Octant]int8) map[int][]demand {
 	demands := make(map[octant.Octant]int8)
-	for _, o := range f.Local {
+	consider := func(o octant.Octant) {
 		if o.Level < 1 {
-			continue
+			return
 		}
 		min := o.Level - 1
 		for _, n := range f.neighborsFor(o, kind) {
-			if cur, ok := demands[n]; !ok || cur < min {
-				demands[n] = min
+			if f.ownedHereOnly(n) {
+				continue
+			}
+			if cur, ok := demands[n]; ok && cur >= min {
+				continue
+			}
+			if s, ok := sent[n]; ok && s >= min {
+				continue
+			}
+			demands[n] = min
+		}
+	}
+	if all {
+		f.forEachBoundaryLeaf(func(_ int, o octant.Octant) { consider(o) })
+	} else {
+		for _, o := range frontier {
+			consider(o)
+		}
+	}
+	me := f.Comm.Rank()
+	out := make(map[int][]demand)
+	for n, min := range demands {
+		sent[n] = min
+		lo, hi := f.OwnersOfRange(n)
+		for r := lo; r <= hi; r++ {
+			if r != me {
+				out[r] = append(out[r], demand{O: n, MinLevel: min})
 			}
 		}
 	}
-	return demands
+	return out
 }
 
-// routeDemands sends each demand to every rank whose curve segment overlaps
-// its region and returns the demands destined for this rank (local ones
-// included), sorted by curve position.
-func (f *Forest) routeDemands(demands map[octant.Octant]int8) []demand {
-	out := make(map[int][]demand)
-	for o, min := range demands {
-		lo, hi := f.OwnersOfRange(o)
-		for r := lo; r <= hi; r++ {
-			out[r] = append(out[r], demand{O: o, MinLevel: min})
-		}
-	}
-	in := mpi.SparseExchange(f.Comm, out, TagBalance)
-	var mine []demand
-	for _, ds := range in {
-		mine = append(mine, ds...)
-	}
-	sort.Slice(mine, func(i, j int) bool { return octant.Less(mine[i].O, mine[j].O) })
-	return mine
-}
-
-// applyDemands refines local leaves violating any demand and reports
-// whether anything changed. Leaves are processed in one sweep; a leaf's
-// relevant demands are found by probing its ancestor positions in a demand
-// map (demands coarser than the leaf) plus scanning the demands contained
-// in its curve range (demands finer than or equal to the leaf).
-func (f *Forest) applyDemands(ds []demand) bool {
+// applyDemands refines every local leaf coarser than a demand overlapping
+// it and returns the newly created leaves. Each demand's overlapping leaf
+// range is located by binary search on the curve (octants nest or are
+// disjoint, so curve-range overlap is geometric overlap), costing
+// O(D log N) plus one rebuild sweep — no per-leaf ancestor probing.
+func (f *Forest) applyDemands(ds []demand) []octant.Octant {
 	if len(ds) == 0 {
-		return false
+		return nil
 	}
-	byPos := make(map[octant.Octant]int8, len(ds))
+	perLeaf := make(map[int][]demand)
 	for _, d := range ds {
-		if cur, ok := byPos[d.O]; !ok || cur < d.MinLevel {
-			byPos[d.O] = d.MinLevel
+		lo, hi := octant.SearchOverlapRange(f.Local, d.O)
+		for i := lo; i < hi; i++ {
+			if f.Local[i].Level < d.MinLevel {
+				perLeaf[i] = append(perLeaf[i], d)
+			}
 		}
 	}
-
-	changed := false
-	out := make([]octant.Octant, 0, len(f.Local))
+	if len(perLeaf) == 0 {
+		return nil
+	}
+	out := make([]octant.Octant, 0, len(f.Local)+8*len(perLeaf))
+	var created []octant.Octant
 	var expand func(o octant.Octant, active []demand)
 	expand = func(o octant.Octant, active []demand) {
 		need := false
@@ -156,42 +243,22 @@ func (f *Forest) applyDemands(ds []demand) bool {
 			out = append(out, o)
 			return
 		}
-		changed = true
 		for i := 0; i < octant.NumChildren; i++ {
 			expand(o.Child(i), kept)
 		}
 	}
-
-	j := 0
-	for _, o := range f.Local {
-		var active []demand
-		// Demands at or above the leaf (ancestor positions, including o).
-		for l := int8(0); l <= o.Level; l++ {
-			a := o.AncestorAt(l)
-			if min, ok := byPos[a]; ok && min > o.Level {
-				active = append(active, demand{O: a, MinLevel: min})
-			}
-		}
-		// Demands strictly inside the leaf's range.
-		for j < len(ds) && octant.Compare(ds[j].O, o) <= 0 {
-			j++
-		}
-		end := markerEnd(o)
-		for k := j; k < len(ds); k++ {
-			m := markerOf(ds[k].O)
-			if !m.Less(end) {
-				break
-			}
-			if o.IsAncestorOf(ds[k].O) && ds[k].MinLevel > o.Level {
-				active = append(active, ds[k])
-			}
-		}
-		if len(active) == 0 {
+	for i, o := range f.Local {
+		act := perLeaf[i]
+		if len(act) == 0 {
 			out = append(out, o)
 			continue
 		}
-		expand(o, active)
+		// act is non-empty only when o violates an overlapping demand, so
+		// the expansion always splits o: everything emitted is new.
+		start := len(out)
+		expand(o, act)
+		created = append(created, out[start:]...)
 	}
 	f.Local = out
-	return changed
+	return created
 }

@@ -46,6 +46,81 @@ func BenchmarkBalanceKinds(b *testing.B) {
 	}
 }
 
+// BenchmarkBalance measures the recursive two-phase Balance (local
+// subtree pass + bounded demand exchanges) at emulated high rank counts
+// on the Figure-4 fractal workload. The exchange-round and message
+// metrics matter as much as the wall time: on a serialized host the
+// goroutine ranks share cores, so structural communication counts are
+// the transferable signal.
+func BenchmarkBalance(b *testing.B) {
+	conn := connectivity.SixRotCubes()
+	for _, p := range []int{64, 256} {
+		b.Run(fmt.Sprintf("ranks%d", p), func(b *testing.B) {
+			var balSec float64
+			var octs, msgs int64
+			var rounds int
+			for i := 0; i < b.N; i++ {
+				mpi.Run(p, func(c *mpi.Comm) {
+					f := New(c, conn, 1)
+					f.Refine(true, 5, fractalRefine(5))
+					f.Partition()
+					c.ResetStats()
+					c.Barrier()
+					t0 := time.Now()
+					f.Balance(BalanceFull)
+					d := mpi.AllreduceMax(c, time.Since(t0).Seconds())
+					m := mpi.AllreduceSum(c, c.TagStat(TagBalance).MsgsSent)
+					if c.Rank() == 0 {
+						balSec += d
+						octs = f.NumGlobal()
+						msgs = m
+						rounds = f.BalanceRounds
+					}
+				})
+			}
+			b.ReportMetric(balSec/float64(b.N), "balance-s")
+			b.ReportMetric(float64(octs), "octants")
+			b.ReportMetric(float64(msgs), "msgs")
+			b.ReportMetric(float64(rounds), "exchange-rounds")
+		})
+	}
+}
+
+// BenchmarkGhost measures the recursive boundary-traversal Ghost at
+// emulated high rank counts on the balanced Figure-4 fractal workload.
+func BenchmarkGhost(b *testing.B) {
+	conn := connectivity.SixRotCubes()
+	for _, p := range []int{64, 256} {
+		b.Run(fmt.Sprintf("ranks%d", p), func(b *testing.B) {
+			var ghostSec float64
+			var ghosts, msgs int64
+			for i := 0; i < b.N; i++ {
+				mpi.Run(p, func(c *mpi.Comm) {
+					f := New(c, conn, 1)
+					f.Refine(true, 5, fractalRefine(5))
+					f.Partition()
+					f.Balance(BalanceFull)
+					c.ResetStats()
+					c.Barrier()
+					t0 := time.Now()
+					g := f.Ghost()
+					d := mpi.AllreduceMax(c, time.Since(t0).Seconds())
+					m := mpi.AllreduceSum(c, c.TagStat(TagGhost).MsgsSent)
+					tot := mpi.AllreduceSum(c, int64(len(g.Octants)))
+					if c.Rank() == 0 {
+						ghostSec += d
+						ghosts = tot
+						msgs = m
+					}
+				})
+			}
+			b.ReportMetric(ghostSec/float64(b.N), "ghost-s")
+			b.ReportMetric(float64(ghosts), "ghosts")
+			b.ReportMetric(float64(msgs), "msgs")
+		})
+	}
+}
+
 // BenchmarkPartitionSkewed measures the redistribution of a maximally
 // skewed forest (all refinement on one tree) back to equal curve segments.
 func BenchmarkPartitionSkewed(b *testing.B) {

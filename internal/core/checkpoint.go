@@ -34,9 +34,17 @@ const (
 // truncate the checkpoint) are propagated, and a partial file is removed
 // rather than left behind looking like a checkpoint.
 func (f *Forest) Save(path string) error {
-	all := f.GatherAll()
+	// Gather through rank 0 only: the writer briefly holds the O(global N)
+	// leaf array, every other rank stays at its local footprint. (GatherAll
+	// would replicate the array on all P ranks, defeating the low-memory
+	// design; a guard test pins that no production phase calls it.)
+	parts := mpi.Gather(f.Comm, 0, f.Local)
 	var err error
 	if f.Comm.Rank() == 0 {
+		var all []octant.Octant
+		for _, part := range parts {
+			all = append(all, part...)
+		}
 		err = saveLeaves(path, f.Conn.NumTrees(), all)
 	}
 	return mpi.BcastErr(f.Comm, err)

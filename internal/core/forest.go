@@ -4,15 +4,20 @@
 // space-filling z-curve that traverses the leaves of every tree in sequence,
 // and partitioned among P ranks by dividing the curve into P segments.
 //
-// Globally shared meta-data is limited to one curve marker and one octant
-// count per rank (the paper's "32 bytes per core"); everything else is
+// Globally shared meta-data is limited to one curve marker per rank plus
+// two global scalars (the paper's "32 bytes per core"); everything else is
 // strictly distributed. The collective algorithms New, Refine, Coarsen,
-// Partition, Balance, Ghost, and Nodes follow §II.C of the paper.
+// Partition, Balance, Ghost, and Nodes follow §II.C of the paper, with the
+// recursive Balance/Ghost variants and O(bytes) metadata discipline of the
+// follow-up "Recursive algorithms for distributed forests of octrees"
+// (arXiv:1406.0089).
 package core
 
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
+	"unsafe"
 
 	"repro/internal/connectivity"
 	"repro/internal/mpi"
@@ -20,9 +25,9 @@ import (
 )
 
 // Marker is a position on the space-filling curve: the Morton key of a
-// max-level octant within a tree. Markers bound each rank's curve segment;
-// together with the per-rank octant counts they are the only globally
-// shared meta-data.
+// max-level octant within a tree. Markers bound each rank's curve segment
+// and, together with two scalar totals, are the only globally shared
+// meta-data (the paper's "32 bytes per core" discipline; see MetaBytes).
 type Marker struct {
 	Tree int32
 	Key  octant.Key
@@ -65,7 +70,6 @@ type Forest struct {
 	Local []octant.Octant
 
 	gfp         []Marker // curve segment starts, len P+1; gfp[P] is the end sentinel
-	counts      []int64  // octants per rank
 	globalNum   int64    // total octant count
 	globalFirst int64    // global index of Local[0]
 
@@ -105,22 +109,34 @@ func New(comm *mpi.Comm, conn *connectivity.Conn, level int8) *Forest {
 	return f
 }
 
-// syncMeta refreshes the globally shared meta-data (curve markers and
-// octant counts) after any operation that changed the local leaves. Leaf
-// changes that keep each rank's curve segment fixed (Refine, Coarsen,
-// Balance) only need the counts; Partition moves the markers too.
+// syncMeta refreshes all globally shared meta-data: the curve markers and
+// the two global scalars. Only operations that can move curve segment
+// boundaries need it — New, Partition, and Load. Refine, Coarsen, and
+// Balance replace leaves in place on the curve (a refined leaf's first
+// child starts at the parent's position; a coarsened family's parent at
+// child 0's), so they call syncCounts alone and the markers stay valid.
 func (f *Forest) syncMeta() {
-	p := f.Comm.Size()
-	f.counts = mpi.Allgather(f.Comm, int64(len(f.Local)))
-	f.globalNum = 0
-	f.globalFirst = 0
-	for r, c := range f.counts {
-		if r < f.Comm.Rank() {
-			f.globalFirst += c
-		}
-		f.globalNum += c
-	}
+	f.syncMarkers()
+	f.syncCounts()
+}
 
+// syncCounts refreshes the global octant count and this rank's global
+// offset after any operation that changed the local leaves: one ExScan and
+// one Allreduce, both with O(1) payloads. No per-rank count array is
+// gathered or kept resident — dropping that Allgather is what keeps the
+// shared metadata O(bytes) per rank (arXiv:1406.0089's low-memory
+// discipline), pinned by MetaBytes.
+func (f *Forest) syncCounts() {
+	n := int64(len(f.Local))
+	f.globalFirst = mpi.ExScan(f.Comm, n, func(a, b int64) int64 { return a + b })
+	f.globalNum = mpi.AllreduceSum(f.Comm, n)
+	f.setGauge("forest_meta_bytes", f.MetaBytes())
+}
+
+// syncMarkers re-gathers the curve segment markers (one per rank, the only
+// O(P) shared structure, fixed-size regardless of mesh churn).
+func (f *Forest) syncMarkers() {
+	p := f.Comm.Size()
 	type firstPos struct {
 		Has bool
 		M   Marker
@@ -141,6 +157,14 @@ func (f *Forest) syncMeta() {
 	}
 }
 
+// MetaBytes returns the resident globally shared metadata footprint in
+// bytes: the P+1 curve markers plus the two global scalars. It is a
+// function of the rank count alone — mesh churn (Refine, Coarsen, Balance,
+// Partition) cannot grow it, which the meta-bytes regression test pins.
+func (f *Forest) MetaBytes() int64 {
+	return int64(len(f.gfp))*int64(unsafe.Sizeof(Marker{})) + 2*8
+}
+
 // NumLocal returns the number of local leaves.
 func (f *Forest) NumLocal() int { return len(f.Local) }
 
@@ -150,8 +174,13 @@ func (f *Forest) NumGlobal() int64 { return f.globalNum }
 // GlobalFirst returns the global index of this rank's first leaf.
 func (f *Forest) GlobalFirst() int64 { return f.globalFirst }
 
-// RankCounts returns the per-rank leaf counts (shared meta-data).
-func (f *Forest) RankCounts() []int64 { return f.counts }
+// RankCounts gathers the per-rank leaf counts. The counts are NOT resident
+// shared metadata (keeping them out of the sync path is what bounds
+// MetaBytes), so this is a collective — every rank must call it the same
+// number of times. For tests, diagnostics, and visualization.
+func (f *Forest) RankCounts() []int64 {
+	return mpi.Allgather(f.Comm, int64(len(f.Local)))
+}
 
 // span opens a phase span on the calling rank's tracer; the returned
 // closer ends it. No-op (one nil check) when the world runs untraced.
@@ -160,8 +189,14 @@ func (f *Forest) span(name string) func() {
 }
 
 // OwnerOfPosition returns the rank owning the given curve position. Any
-// rank can answer this from the shared markers alone, in O(log P).
+// rank can answer this from the shared markers alone, in O(log P) — O(1)
+// when the position falls in the caller's own segment, the overwhelmingly
+// common case for the interior of a rank's subdomain.
 func (f *Forest) OwnerOfPosition(m Marker) int {
+	me := f.Comm.Rank()
+	if !m.Less(f.gfp[me]) && m.Less(f.gfp[me+1]) {
+		return me
+	}
 	// Largest r with gfp[r] <= m.
 	r := sort.Search(f.Comm.Size()+1, func(i int) bool {
 		return m.Less(f.gfp[i])
@@ -195,6 +230,22 @@ func (f *Forest) OwnersOfRange(o octant.Octant) (lo, hi int) {
 		hi = lo
 	}
 	return lo, hi
+}
+
+// overlapsLocal reports whether octant o's curve range intersects the
+// calling rank's segment. O(1) from the resident markers.
+func (f *Forest) overlapsLocal(o octant.Octant) bool {
+	me := f.Comm.Rank()
+	return markerOf(o).Less(f.gfp[me+1]) && f.gfp[me].Less(markerEnd(o))
+}
+
+// ownedHereOnly reports whether octant o's entire curve range lies within
+// the calling rank's segment, i.e. no other rank owns any part of it.
+// O(1) from the resident markers; this is the subtree pruning predicate of
+// the recursive boundary traversal.
+func (f *Forest) ownedHereOnly(o octant.Octant) bool {
+	me := f.Comm.Rank()
+	return !markerOf(o).Less(f.gfp[me]) && !f.gfp[me+1].Less(markerEnd(o))
 }
 
 // FindLeaf returns the index of the local leaf containing octant q (equal
@@ -295,21 +346,51 @@ func (f *Forest) Validate() error {
 	if tot != want {
 		return fmt.Errorf("volume %d != expected %d", tot, want)
 	}
-	// Counts consistent.
-	if int64(len(f.Local)) != f.counts[f.Comm.Rank()] {
-		return fmt.Errorf("count meta-data stale")
+	// Shared scalars consistent with an on-the-fly reduction (catches a
+	// missing syncCounts after a local mutation).
+	n := int64(len(f.Local))
+	if got := mpi.ExScan(f.Comm, n, func(a, b int64) int64 { return a + b }); got != f.globalFirst {
+		return fmt.Errorf("count meta-data stale: globalFirst %d != %d", f.globalFirst, got)
+	}
+	if got := mpi.AllreduceSum(f.Comm, n); got != f.globalNum {
+		return fmt.Errorf("count meta-data stale: globalNum %d != %d", f.globalNum, got)
 	}
 	return nil
 }
 
+// gatherAllCalls counts GatherAll invocations process-wide so tests can
+// assert that no production phase ever replicates the global leaf array.
+var gatherAllCalls atomic.Int64
+
 // GatherAll returns the full global leaf array on every rank, in curve
 // order. Intended for tests, debugging, and single-file visualization of
-// small forests only — it defeats the distributed-storage design on purpose.
+// small forests only — it replicates O(global N) state on every rank and
+// so defeats the distributed-storage design on purpose. No production
+// phase may call it (checkpointing gathers through rank 0 instead); the
+// guard test pins this via the call counter.
 func (f *Forest) GatherAll() []octant.Octant {
+	gatherAllCalls.Add(1)
 	all := mpi.Allgather(f.Comm, f.Local)
 	var out []octant.Octant
 	for _, part := range all {
 		out = append(out, part...)
 	}
 	return out
+}
+
+// addCounter records n into the named counter of the world's live metrics
+// registry, when one is attached. Phase-granularity: one registry lookup
+// per call.
+func (f *Forest) addCounter(name string, n int64) {
+	if reg := f.Comm.Metrics(); reg != nil {
+		reg.Counter(name).AddShard(f.Comm.MetricsShard(), n)
+	}
+}
+
+// setGauge stores v into the named gauge of the world's live metrics
+// registry, when one is attached.
+func (f *Forest) setGauge(name string, v int64) {
+	if reg := f.Comm.Metrics(); reg != nil {
+		reg.Gauge(name).SetShard(f.Comm.MetricsShard(), v)
+	}
 }

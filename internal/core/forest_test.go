@@ -59,12 +59,13 @@ func TestNewLevelZeroEmptyRanks(t *testing.T) {
 		if f.NumGlobal() != 1 {
 			t.Errorf("global = %d", f.NumGlobal())
 		}
+		counts := f.RankCounts()
 		total := 0
-		for _, n := range f.RankCounts() {
+		for _, n := range counts {
 			total += int(n)
 		}
 		if total != 1 {
-			t.Errorf("counts = %v", f.RankCounts())
+			t.Errorf("counts = %v", counts)
 		}
 	})
 }

@@ -32,57 +32,53 @@ func (g *GhostLayer) NumGhosts() int { return len(g.Octants) }
 // segment. Every local leaf whose same-size neighbourhood overlaps a remote
 // segment is shipped to those ranks; symmetry of the neighbourhood relation
 // makes the received set exactly the adjacent remote leaves.
+//
+// Candidate leaves are enumerated by the recursive top-down boundary
+// traversal (arXiv:1406.0089): subtrees interior to the local segment are
+// pruned wholesale against the partition markers, so the per-leaf 26-image
+// owner scan runs over the partition boundary only — not all N local
+// leaves — and each boundary leaf is visited exactly once in curve order,
+// so the mirror and send lists are built sorted without any per-leaf set
+// churn.
 func (f *Forest) Ghost() *GhostLayer {
 	defer f.span("ghost")()
 	me := f.Comm.Rank()
-	sendSet := make(map[int]map[int]bool) // dest rank -> local leaf index set
-	mirrorRanks := make(map[int][]int)    // local leaf index -> dest ranks
-	for i, o := range f.Local {
-		var dests map[int]bool
+	msgs0 := f.Comm.TagStat(TagGhost).MsgsSent
+	g := &GhostLayer{}
+	send := make(map[int][]octant.Octant) // dest rank -> mirror leaves, curve order
+	var dests []int
+	f.forEachBoundaryLeaf(func(i int, o octant.Octant) {
+		dests = dests[:0]
 		for _, n := range f.Conn.AllNeighbors(o) {
 			lo, hi := f.OwnersOfRange(n)
 			for r := lo; r <= hi; r++ {
 				if r == me {
 					continue
 				}
-				if dests == nil {
-					dests = make(map[int]bool)
-				}
-				if !dests[r] {
-					dests[r] = true
-					if sendSet[r] == nil {
-						sendSet[r] = make(map[int]bool)
+				seen := false
+				for _, d := range dests {
+					if d == r {
+						seen = true
+						break
 					}
-					sendSet[r][i] = true
+				}
+				if !seen {
+					dests = append(dests, r)
 				}
 			}
 		}
-		if dests != nil {
-			ranks := make([]int, 0, len(dests))
-			for r := range dests {
-				ranks = append(ranks, r)
-			}
-			sort.Ints(ranks)
-			mirrorRanks[i] = ranks
+		if len(dests) == 0 {
+			return
 		}
-	}
+		sort.Ints(dests)
+		g.Mirrors = append(g.Mirrors, i)
+		g.MirrorRanks = append(g.MirrorRanks, append([]int(nil), dests...))
+		for _, r := range dests {
+			send[r] = append(send[r], o)
+		}
+	})
+	in := mpi.SparseExchange(f.Comm, send, TagGhost)
 
-	out := make(map[int][]octant.Octant)
-	for r, set := range sendSet {
-		idx := make([]int, 0, len(set))
-		for i := range set {
-			idx = append(idx, i)
-		}
-		sort.Ints(idx)
-		list := make([]octant.Octant, len(idx))
-		for k, i := range idx {
-			list[k] = f.Local[i]
-		}
-		out[r] = list
-	}
-	in := mpi.SparseExchange(f.Comm, out, TagGhost)
-
-	g := &GhostLayer{}
 	type ownedOct struct {
 		o     octant.Octant
 		owner int
@@ -101,16 +97,7 @@ func (f *Forest) Ghost() *GhostLayer {
 		g.Octants = append(g.Octants, ro.o)
 		g.Owner = append(g.Owner, ro.owner)
 	}
-
-	mirrorIdx := make([]int, 0, len(mirrorRanks))
-	for i := range mirrorRanks {
-		mirrorIdx = append(mirrorIdx, i)
-	}
-	sort.Ints(mirrorIdx)
-	for _, i := range mirrorIdx {
-		g.Mirrors = append(g.Mirrors, i)
-		g.MirrorRanks = append(g.MirrorRanks, mirrorRanks[i])
-	}
+	f.addCounter("ghost_msgs", f.Comm.TagStat(TagGhost).MsgsSent-msgs0)
 	return g
 }
 

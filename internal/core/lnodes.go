@@ -170,7 +170,6 @@ func (f *Forest) LNodes(ghost *GhostLayer, degree int) *LNodes {
 // cell whose closed region touches the node.
 func (f *Forest) lnodeOwner(key connectivity.TreePoint, scale int32) int {
 	images := f.Conn.PointImagesScaled(key.Tree, [3]int32{key.X, key.Y, key.Z}, scale)
-	owner := f.Comm.Size()
 	minMarker := Marker{Tree: f.Conn.NumTrees()}
 	for _, im := range images {
 		// Adjacent unit cells per axis: the node at scaled coordinate v
@@ -194,16 +193,16 @@ func (f *Forest) lnodeOwner(key connectivity.TreePoint, scale int32) int {
 						continue
 					}
 					cell := octant.Octant{X: dx, Y: dy, Z: dz, Level: octant.MaxLevel, Tree: im.Tree}
-					m := markerOf(cell)
-					if m.Less(minMarker) {
+					if m := markerOf(cell); m.Less(minMarker) {
 						minMarker = m
-						owner = f.OwnerOfPosition(m)
 					}
 				}
 			}
 		}
 	}
-	return owner
+	// One owner search for the curve-minimal cell (O(1) when it lies in
+	// the caller's own segment) instead of one per improving candidate.
+	return f.OwnerOfPosition(minMarker)
 }
 
 // AssembleSum adds, for every shared high-order node, the contributions of

@@ -92,17 +92,36 @@ func touchingCells(conn *connectivity.Conn, t int32, p [3]int32) []octant.Octant
 // owner, and the owner always references the node itself (the leaf
 // containing the minimal cell has the node as one of its corners).
 func (f *Forest) nodeOwner(key connectivity.TreePoint) int {
+	// Interior fast path: a node strictly inside its tree has a single
+	// image and all eight adjacent max-level cells exist, so the
+	// curve-smallest cell falls out of one 8-way key comparison — no image
+	// enumeration, no cell linearization, no allocation. Combined with the
+	// own-segment fast path of OwnerOfPosition, owner lookup for the
+	// subdomain interior is O(1); only nodes on tree or partition
+	// boundaries pay the general scan.
+	if key.X > 0 && key.X < octant.RootLen &&
+		key.Y > 0 && key.Y < octant.RootLen &&
+		key.Z > 0 && key.Z < octant.RootLen {
+		var minKey octant.Key
+		for d := 0; d < 8; d++ {
+			cell := octant.Octant{
+				X: key.X - int32(d&1), Y: key.Y - int32(d>>1&1), Z: key.Z - int32(d>>2&1),
+				Level: octant.MaxLevel, Tree: key.Tree,
+			}
+			if k := cell.MortonKey(); d == 0 || k < minKey {
+				minKey = k
+			}
+		}
+		return f.OwnerOfPosition(Marker{Tree: key.Tree, Key: minKey})
+	}
 	cells := touchingCells(f.Conn, key.Tree, [3]int32{key.X, key.Y, key.Z})
-	owner := f.Comm.Size()
 	minMarker := Marker{Tree: f.Conn.NumTrees()}
 	for _, cell := range cells {
-		m := markerOf(cell)
-		if m.Less(minMarker) {
+		if m := markerOf(cell); m.Less(minMarker) {
 			minMarker = m
-			owner = f.OwnerOfPosition(m)
 		}
 	}
-	return owner
+	return f.OwnerOfPosition(minMarker)
 }
 
 // Nodes creates the globally unique numbering of the trilinear continuous

@@ -106,10 +106,22 @@ type Fig4Row struct {
 	// tags (from the per-tag mpi.Stats), sized at real octant/demand wire
 	// volume. The paper's claim that Balance and Ghost communication
 	// "scales roughly with the number of octants on the partition
-	// boundaries" is checked against these columns.
+	// boundaries" is checked against these columns. The matching *Msgs
+	// columns count point-to-point payload messages on the same tags:
+	// sub-linear growth in messages per rank is the signature of the
+	// recursive boundary-only algorithms (an all-pairs scheme would grow
+	// them quadratically).
 	PartBytes  int64
 	BalBytes   int64
 	GhostBytes int64
+	PartMsgs   int64
+	BalMsgs    int64
+	GhostMsgs  int64
+
+	// MetaBytes is the resident globally shared meta-data per rank: the
+	// P+1 curve markers plus two scalar counters. O(P) bytes, independent
+	// of the octant count (paper §2: only O(bytes) shared state).
+	MetaBytes int64
 
 	// PhaseImb and PhaseWait are filled when the run is traced: per phase
 	// (new, refine, partition, balance, ghost, nodes), the max/avg rank
@@ -171,15 +183,22 @@ func RunFig4Obs(ranks int, level int8, obs Obs) Fig4Row {
 		r.PerRank = float64(r.Octants) / float64(ranks) / 1e6
 		r.BalanceRounds = f.BalanceRounds
 		st := c.Stats()
-		byTag := func(tag int) int64 {
+		byTag := func(tag int) (bytes, msgs int64) {
 			if ts := st.ByTag[tag]; ts != nil {
-				return ts.BytesSent
+				return ts.BytesSent, ts.MsgsSent
 			}
-			return 0
+			return 0, 0
 		}
-		r.PartBytes = mpi.AllreduceSum(c, byTag(core.TagPartition))
-		r.BalBytes = mpi.AllreduceSum(c, byTag(core.TagBalance))
-		r.GhostBytes = mpi.AllreduceSum(c, byTag(core.TagGhost))
+		pb, pm := byTag(core.TagPartition)
+		bb, bm := byTag(core.TagBalance)
+		gb, gm := byTag(core.TagGhost)
+		r.PartBytes = mpi.AllreduceSum(c, pb)
+		r.BalBytes = mpi.AllreduceSum(c, bb)
+		r.GhostBytes = mpi.AllreduceSum(c, gb)
+		r.PartMsgs = mpi.AllreduceSum(c, pm)
+		r.BalMsgs = mpi.AllreduceSum(c, bm)
+		r.GhostMsgs = mpi.AllreduceSum(c, gm)
+		r.MetaBytes = f.MetaBytes()
 		if r.Octants > 0 {
 			moct := float64(r.Octants) / 1e6
 			r.BalNorm = r.BalSec / moct

@@ -93,6 +93,26 @@ func newWorldMetrics(reg *metrics.Registry, withFaults bool) *worldMetrics {
 	return m
 }
 
+// Metrics returns the live instrument registry the world was run with, or
+// nil. Algorithm layers outside the runtime (e.g. the forest phases in
+// internal/core) record their own instruments into it; pair with
+// MetricsShard for the calling rank's lane.
+func (c *Comm) Metrics() *metrics.Registry {
+	if c.world.met == nil {
+		return nil
+	}
+	return c.world.met.reg
+}
+
+// MetricsShard returns the calling rank's lane index in the instruments of
+// Metrics. Zero when no registry is attached.
+func (c *Comm) MetricsShard() int {
+	if c.world.met == nil {
+		return 0
+	}
+	return c.world.met.shard(c.rank)
+}
+
 // shard maps a rank to its counter lane, clamping when the registry was
 // created with fewer shards than the world has ranks.
 func (m *worldMetrics) shard(rank int) int {

@@ -66,6 +66,16 @@ func (c *Comm) Stats() Stats {
 	return st
 }
 
+// TagStat returns a copy of the calling rank's counters for a single tag,
+// without deep-copying the whole per-tag map (cheap enough for phase-level
+// before/after deltas).
+func (c *Comm) TagStat(tag int) TagStats {
+	if ts := c.world.stats[c.rank].ByTag[tag]; ts != nil {
+		return *ts
+	}
+	return TagStats{}
+}
+
 // ResetStats zeroes the calling rank's counters.
 func (c *Comm) ResetStats() { c.world.stats[c.rank] = Stats{} }
 
