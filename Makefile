@@ -3,9 +3,9 @@
 # so plain `go test` is not enough). CI runs `make verify`.
 
 GO ?= go
-PR ?= 9
+PR ?= 10
 
-.PHONY: verify vet build test test-race bench bench-smoke bench-record fig4 fig4-highp chaos telemetry-smoke
+.PHONY: verify vet build test test-race bench bench-smoke bench-record fig4 fig4-highp chaos telemetry-smoke serve-smoke
 
 verify: vet build test-race
 
@@ -43,7 +43,8 @@ bench-smoke:
 # overhead is part of the archived record.
 bench-record:
 	{ $(GO) test -run '^$$' -bench='Benchmark(Advect|Seismic)Step' -benchtime=10x -benchmem -timeout 10m ./internal/advect/ ./internal/seismic/ ; \
-	  $(GO) test -run '^$$' -bench='^(BenchmarkBalance|BenchmarkGhost)$$' -benchtime=5x -timeout 10m ./internal/core/ ; } \
+	  $(GO) test -run '^$$' -bench='^(BenchmarkBalance|BenchmarkGhost)$$' -benchtime=5x -timeout 10m ./internal/core/ ; \
+	  $(GO) test -run '^$$' -bench='^BenchmarkServeLoadgen$$' -benchtime=1x -timeout 10m ./internal/serve/ ; } \
 		| $(GO) run ./cmd/benchjson > BENCH_$(PR).json
 
 # Live-endpoint smoke: run cmd/advect with -telemetry, scrape /metrics and
@@ -51,6 +52,14 @@ bench-record:
 # counters, rank health) are present; then check manifest + benchjson.
 telemetry-smoke:
 	bash scripts/telemetry_smoke.sh
+
+# Simulation-service smoke: start cmd/serve on an ephemeral port, drive a
+# mixed concurrent job load through cmd/loadgen (admission control must
+# engage, nothing may be dropped), run one job end to end over the raw
+# API with SSE, scrape /metrics + /healthz, and check that SIGTERM drains
+# gracefully.
+serve-smoke:
+	bash scripts/serve_smoke.sh
 
 # Chaos suite: the fault-injection and checkpoint/restart tests under the
 # race detector, plus a short end-to-end robust run of cmd/advect — a

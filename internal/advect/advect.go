@@ -108,11 +108,15 @@ func (k *advKernel) Volume(w *mangll.Work, elems []int32) {
 }
 
 func (k *advKernel) InteriorFace(w *mangll.Work, links []int32) {
-	k.s.faceTerm(w, links, k.s.kDC)
+	k.s.faceTerm(w, links)
 }
 
 func (k *advKernel) BoundaryFace(w *mangll.Work, links []int32) {
-	k.s.faceTerm(w, links, k.s.kDC)
+	k.s.faceTerm(w, links)
+}
+
+func (k *advKernel) Lift(w *mangll.Work, links []int32) {
+	k.s.liftTerm(w, links, k.s.kDC)
 }
 
 // NewShell creates a solver on the 24-tree spherical shell with four
@@ -334,10 +338,13 @@ func (s *Solver) volumeTerm(w *mangll.Work, elems []int32, c, dc []float64) {
 	}
 }
 
-// faceTerm accumulates the surface flux of the given links (indices into
-// Mesh.Links). Interior links touch only local data; boundary links read
-// ghost values and must run after the exchange finished.
-func (s *Solver) faceTerm(w *mangll.Work, links []int32, dc []float64) {
+// faceTerm computes and stages the surface flux of the given links
+// (indices into Mesh.Links). Interior links touch only local data;
+// boundary links read ghost values and must run after the exchange
+// finished. Accumulation happens later in liftTerm, in canonical link
+// order, so results do not depend on which links were partition
+// boundaries.
+func (s *Solver) faceTerm(w *mangll.Work, links []int32) {
 	m := s.Mesh
 	sc := &s.ws[w.ID()]
 	mine, theirs, g := sc.mine, sc.theirs, sc.g
@@ -362,7 +369,20 @@ func (s *Solver) faceTerm(w *mangll.Work, links []int32, dc []float64) {
 			}
 			g[fn] = flux - star
 		}
-		w.LiftFace(l, g, dc)
+		w.StageFace(li, 0, g)
+	}
+}
+
+// liftTerm accumulates the staged face fluxes into dc in link order.
+// Domain-boundary links staged nothing and contribute nothing.
+func (s *Solver) liftTerm(w *mangll.Work, links []int32, dc []float64) {
+	m := s.Mesh
+	for _, li := range links {
+		l := &m.Links[li]
+		if l.Kind == mangll.LinkBoundary {
+			continue
+		}
+		w.LiftFace(l, w.StagedFace(li, 0), dc)
 	}
 }
 

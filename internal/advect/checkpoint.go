@@ -37,28 +37,39 @@ func CheckpointExists(base string) bool {
 }
 
 // SaveCheckpoint writes the solver state at step to base+".forest" and
-// base+".fields". Collective; the files are written to temporary names
-// and renamed into place, so a crash mid-write never clobbers the
-// previous good checkpoint. All ranks return the same error.
+// base+".fields". Collective; the files are written to per-call unique
+// temporary names (core.TempPath) and renamed into place, so a crash
+// mid-write never clobbers the previous good checkpoint and concurrent
+// writers sharing a base path never clobber each other's temp files.
+// All ranks return the same error.
 func (s *Solver) SaveCheckpoint(base string, step int64) error {
 	fp, dp := checkpointPaths(base)
-	if err := s.F.Save(fp + ".tmp"); err != nil {
-		return err
+	// Only rank 0 touches the filesystem (Save/SaveFields gather through
+	// it), so only rank 0's temp names matter; each rank computing its own
+	// is harmless.
+	ftmp, dtmp := core.TempPath(fp), core.TempPath(dp)
+	err := s.F.Save(ftmp)
+	if err == nil {
+		meta := core.FieldMeta{Step: step, Time: s.Time}
+		err = s.F.SaveFields(dtmp, s.Mesh.Np, meta, s.C)
 	}
-	meta := core.FieldMeta{Step: step, Time: s.Time}
-	if err := s.F.SaveFields(dp+".tmp", s.Mesh.Np, meta, s.C); err != nil {
-		return err
-	}
-	var err error
 	if s.Comm.Rank() == 0 {
-		if err = os.Rename(fp+".tmp", fp); err == nil {
-			err = os.Rename(dp+".tmp", dp)
-		}
 		if err == nil {
-			// Make the renames durable; the file contents were fsynced at
-			// write time, the directory entries are the remaining volatile
-			// piece of the atomic-replace protocol.
-			err = core.SyncDir(filepath.Dir(fp))
+			if err = os.Rename(ftmp, fp); err == nil {
+				err = os.Rename(dtmp, dp)
+			}
+			if err == nil {
+				// Make the renames durable; the file contents were fsynced at
+				// write time, the directory entries are the remaining volatile
+				// piece of the atomic-replace protocol.
+				err = core.SyncDir(filepath.Dir(fp))
+			}
+		}
+		if err != nil {
+			// Unique temp names accumulate if left behind; sweep this
+			// writer's own on any failure (best effort).
+			os.Remove(ftmp)
+			os.Remove(dtmp)
 		}
 	}
 	err = mpi.BcastErr(s.Comm, err)

@@ -2,6 +2,7 @@ package advect
 
 import (
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 
@@ -144,4 +145,79 @@ func TestResumeErrorsOnMissingOrMismatched(t *testing.T) {
 			t.Error("resume with mismatched degree succeeded")
 		}
 	})
+}
+
+// TestConcurrentSaveCollision pins the job-scoped temp-name fix: two
+// checkpoint writers sharing one base path (two concurrent server jobs,
+// or a job racing its auto-restarted successor) save repeatedly at the
+// same time. With the old fixed ".tmp" names, one writer's os.Create
+// truncated the file the other was mid-writing, or renamed the other's
+// partial file into place — a corrupt "complete" checkpoint. With
+// per-call unique temp names every rename installs a fully written file,
+// so the base stays loadable throughout and afterward, and no temp
+// litter survives.
+func TestConcurrentSaveCollision(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "shared")
+	opts := ckptOpts()
+
+	// Reference state: the hash both writers' checkpoints must restore to
+	// (identical solvers at the same step write identical bytes).
+	var want uint64
+	mpi.Run(2, func(c *mpi.Comm) {
+		s := NewShell(c, opts)
+		if err := s.RunCheckpointed(2, 2, 0, "", 0); err != nil {
+			t.Error(err)
+			return
+		}
+		if h := s.FieldHash(); c.Rank() == 0 {
+			want = h
+		}
+	})
+
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mpi.Run(2, func(c *mpi.Comm) {
+				s := NewShell(c, opts)
+				if err := s.RunCheckpointed(2, 2, 0, "", 0); err != nil {
+					t.Error(err)
+					return
+				}
+				for i := 0; i < 10; i++ {
+					if err := s.SaveCheckpoint(base, 2); err != nil {
+						t.Errorf("concurrent save %d: %v", i, err)
+						return
+					}
+				}
+			})
+		}()
+	}
+	wg.Wait()
+
+	// The installed checkpoint must be a complete, restorable pair.
+	mpi.Run(3, func(c *mpi.Comm) {
+		s, step, err := ResumeShell(c, opts, base)
+		if err != nil {
+			t.Errorf("resume after concurrent saves: %v", err)
+			return
+		}
+		if step != 2 {
+			t.Errorf("resumed step = %d, want 2", step)
+		}
+		if h := s.FieldHash(); c.Rank() == 0 && h != want {
+			t.Errorf("restored hash %#x, want %#x", h, want)
+		}
+	})
+
+	// No temp litter: every writer renamed or removed its own temps.
+	left, err := filepath.Glob(base + "*.tmp*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 0 {
+		t.Errorf("temp files left behind: %v", left)
+	}
 }

@@ -7,6 +7,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"sync/atomic"
 
 	"repro/internal/connectivity"
 	"repro/internal/mpi"
@@ -80,6 +81,19 @@ func saveLeaves(path string, numTrees int32, all []octant.Octant) error {
 // protocol exists to rule out. A variable so tests can inject sync
 // failures and pin that they propagate.
 var fileSync = func(f *os.File) error { return f.Sync() }
+
+// tmpSeq makes TempPath names unique within the process.
+var tmpSeq atomic.Uint64
+
+// TempPath returns a collision-free temporary sibling of path for the
+// write-then-rename protocol: the name is unique per process (pid) and
+// per call (sequence), so two checkpoint writers sharing a base path —
+// concurrent jobs in a server process, or a job racing its own
+// auto-restarted successor — can never open or rename each other's
+// half-written temp files. The final rename target stays `path`.
+func TempPath(path string) string {
+	return fmt.Sprintf("%s.tmp.%d.%d", path, os.Getpid(), tmpSeq.Add(1))
+}
 
 // SyncDir fsyncs a directory, making a just-renamed checkpoint's
 // directory entry durable. Failures are reported, not fatal: some

@@ -17,19 +17,34 @@ import (
 // pooled):
 //
 //	Volume(elems)        — element-local volume terms
-//	InteriorFace(links)  — faces reading only local data (including
+//	InteriorFace(links)  — face fluxes reading only local data (including
 //	                       domain-boundary faces), overlapped with the
 //	                       ghost exchange
-//	BoundaryFace(links)  — faces reading ghost data, after Finish
+//	BoundaryFace(links)  — face fluxes reading ghost data, after Finish
+//	Lift(links)          — face-flux accumulation into the residual, in
+//	                       canonical link order over ALL links
 //
-// Determinism rules for hook implementations, which make workers=1 and
-// workers=N bitwise identical:
+// The face hooks are split into flux computation and accumulation on
+// purpose: whether a face is "interior" or "boundary" depends on the
+// partition, so any scheme that accumulates during the face hooks orders
+// an element's face contributions partition-dependently and the results
+// drift across rank counts at the ulp level. Instead, the face hooks
+// compute each link's flux and stage it (Work.StageFace) — pure indexed
+// writes, order-irrelevant — and Lift replays the staged fluxes in link
+// index order, which is element-major and partition-independent. The
+// staged fluxes themselves are bitwise partition-independent (a ghost
+// neighbor's exchanged values equal the local values it would have had),
+// so one Apply is bitwise identical across blocking/overlapped paths, any
+// worker count, AND any rank count.
+//
+// Determinism rules for hook implementations:
 //
 //   - a hook invoked with element range E and link ranges L may write only
 //     into nodes of elements in E (face lifts accumulate into the link's
-//     own element; dG elements share no nodes across elements);
+//     own element; dG elements share no nodes across elements) and into
+//     the staged-flux slots of links in L;
 //   - within one batch the driver preserves the serial order (volume of
-//     its elements in ascending order, then its links in link order), so
+//     its elements in ascending order, then lifts in link order), so
 //     per-element accumulation order is the serial order regardless of
 //     which worker runs the batch;
 //   - hooks must route mesh operations through the Work they are handed
@@ -43,24 +58,32 @@ type Kernel interface {
 	NumComps() int
 	// Volume computes volume terms for the given local element indices.
 	Volume(w *Work, elems []int32)
-	// InteriorFace computes face terms for the given indices into
-	// Mesh.Links, all of which read only local data.
+	// InteriorFace computes face fluxes for the given indices into
+	// Mesh.Links, all of which read only local data, and stages them via
+	// Work.StageFace.
 	InteriorFace(w *Work, links []int32)
-	// BoundaryFace computes face terms for the given indices into
+	// BoundaryFace computes face fluxes for the given indices into
 	// Mesh.Links, all of which read ghost data (valid only after the
-	// exchange finished).
+	// exchange finished), and stages them via Work.StageFace.
 	BoundaryFace(w *Work, links []int32)
+	// Lift accumulates the staged fluxes of the given indices into
+	// Mesh.Links — every link of the covered elements, interior and
+	// boundary alike, in ascending link order — into the residual.
+	Lift(w *Work, links []int32)
 }
 
 // kernelBatch is one deterministic unit of pool work: a contiguous
 // element range plus the (contiguous, element-major) sub-ranges of
-// IntLinks and BndLinks belonging to those elements. Batches are fixed at
-// mesh build time, so the partition — and therefore the per-element
-// execution order — does not depend on worker count or timing.
+// IntLinks and BndLinks belonging to those elements, plus the full link
+// window (every link of those elements in ascending index order) driven
+// through the Lift hook. Batches are fixed at mesh build time, so the
+// partition — and therefore the per-element execution order — does not
+// depend on worker count or timing.
 type kernelBatch struct {
-	elems    []int32
-	intLinks []int32
-	bndLinks []int32
+	elems     []int32
+	intLinks  []int32
+	bndLinks  []int32
+	liftLinks []int32
 }
 
 // batchesPerWorker oversubscribes the batch count relative to the worker
@@ -86,15 +109,21 @@ func (m *Mesh) buildKernelDriver() {
 	for i := range m.allElems {
 		m.allElems[i] = int32(i)
 	}
+	m.allLinks = make([]int32, len(m.Links))
+	for i := range m.allLinks {
+		m.allLinks[i] = int32(i)
+	}
 	if m.pool == nil {
 		return
 	}
 	m.buildBatches(nw * batchesPerWorker)
 	m.spanA = make([]string, nw)
 	m.spanB = make([]string, nw)
+	m.spanC = make([]string, nw)
 	for i := range m.spanA {
 		m.spanA[i] = "pool:interior:w" + strconv.Itoa(i)
 		m.spanB[i] = "pool:boundary:w" + strconv.Itoa(i)
+		m.spanC[i] = "pool:lift:w" + strconv.Itoa(i)
 	}
 	m.phaseA = func(worker, batch int) {
 		b := &m.batches[batch]
@@ -105,6 +134,10 @@ func (m *Mesh) buildKernelDriver() {
 	m.phaseB = func(worker, batch int) {
 		b := &m.batches[batch]
 		m.curK.BoundaryFace(m.works[worker], b.bndLinks)
+	}
+	m.phaseC = func(worker, batch int) {
+		b := &m.batches[batch]
+		m.curK.Lift(m.works[worker], b.liftLinks)
 	}
 }
 
@@ -119,7 +152,7 @@ func (m *Mesh) buildBatches(nb int) {
 		nb = m.NumLocal
 	}
 	m.batches = m.batches[:0]
-	ii, bi := 0, 0
+	ii, bi, ai := 0, 0, 0
 	for k := 0; k < nb; k++ {
 		e0 := k * m.NumLocal / nb
 		e1 := (k + 1) * m.NumLocal / nb
@@ -131,10 +164,15 @@ func (m *Mesh) buildBatches(nb int) {
 		for bi < len(m.BndLinks) && int(m.Links[m.BndLinks[bi]].Elem) < e1 {
 			bi++
 		}
+		a0 := ai
+		for ai < len(m.Links) && int(m.Links[ai].Elem) < e1 {
+			ai++
+		}
 		m.batches = append(m.batches, kernelBatch{
-			elems:    m.allElems[e0:e1],
-			intLinks: m.IntLinks[i0:ii],
-			bndLinks: m.BndLinks[b0:bi],
+			elems:     m.allElems[e0:e1],
+			intLinks:  m.IntLinks[i0:ii],
+			bndLinks:  m.BndLinks[b0:bi],
+			liftLinks: m.allLinks[a0:ai],
 		})
 	}
 }
@@ -151,10 +189,12 @@ func (m *Mesh) buildBatches(nb int) {
 // workers while the orchestrator itself completes the exchange — Finish
 // writes only the ghost region, phase-A batches read only the local
 // region, so the two overlap without synchronization — then BoundaryFace
-// fans out after the join. Results are bitwise identical across blocking,
-// overlapped, and any worker count. Apply must not be re-entered from a
-// kernel hook.
+// fans out after the join, and the Lift sweep after that. Results are
+// bitwise identical across blocking, overlapped, any worker count, and
+// any rank count (see the Kernel contract). Apply must not be re-entered
+// from a kernel hook.
 func (m *Mesh) Apply(k Kernel, field []float64) time.Duration {
+	m.ensureStage(k.NumComps())
 	ex := m.StartGhostExchange(k.NumComps(), field)
 	if m.pool == nil {
 		w := m.works[0]
@@ -162,6 +202,7 @@ func (m *Mesh) Apply(k Kernel, field []float64) time.Duration {
 		k.InteriorFace(w, m.IntLinks)
 		wait := m.finishTraced(ex)
 		k.BoundaryFace(w, m.BndLinks)
+		k.Lift(w, m.allLinks)
 		return wait
 	}
 	m.curK = k
@@ -171,6 +212,8 @@ func (m *Mesh) Apply(k Kernel, field []float64) time.Duration {
 	m.emitPoolSpans(m.spanA)
 	m.pool.Run(len(m.batches), m.phaseB)
 	m.emitPoolSpans(m.spanB)
+	m.pool.Run(len(m.batches), m.phaseC)
+	m.emitPoolSpans(m.spanC)
 	m.curK = nil
 	return wait
 }
@@ -180,12 +223,14 @@ func (m *Mesh) Apply(k Kernel, field []float64) time.Duration {
 // baseline; solvers select it via their NoOverlap option). Kernel hooks
 // execute in the identical order, so results are bitwise equal to Apply's.
 func (m *Mesh) ApplyBlocking(k Kernel, field []float64) time.Duration {
+	m.ensureStage(k.NumComps())
 	wait := m.exchangeTraced(k.NumComps(), field)
 	if m.pool == nil {
 		w := m.works[0]
 		k.Volume(w, m.allElems)
 		k.InteriorFace(w, m.IntLinks)
 		k.BoundaryFace(w, m.BndLinks)
+		k.Lift(w, m.allLinks)
 		return wait
 	}
 	m.curK = k
@@ -193,8 +238,22 @@ func (m *Mesh) ApplyBlocking(k Kernel, field []float64) time.Duration {
 	m.emitPoolSpans(m.spanA)
 	m.pool.Run(len(m.batches), m.phaseB)
 	m.emitPoolSpans(m.spanB)
+	m.pool.Run(len(m.batches), m.phaseC)
+	m.emitPoolSpans(m.spanC)
 	m.curK = nil
 	return wait
+}
+
+// ensureStage sizes the staged-flux buffer for an Apply with nc
+// components: one Nf-slot per (link, component). Contents are not zeroed —
+// a kernel's Lift hook must read back only slots its face hooks staged.
+func (m *Mesh) ensureStage(nc int) {
+	n := len(m.Links) * m.Nf * nc
+	if cap(m.stage) < n {
+		m.stage = make([]float64, n)
+	}
+	m.stage = m.stage[:n]
+	m.stageNC = nc
 }
 
 // finishTraced completes an exchange inside an "exchange" trace span and

@@ -17,16 +17,18 @@ type countKernel struct {
 	volSeen  []atomic.Int32
 	intSeen  []atomic.Int32 // indexed by link index
 	bndSeen  []atomic.Int32
+	liftSeen []atomic.Int32
 	volDone  atomic.Int32 // elements completed, to order-check faces
 	intEarly atomic.Int32 // interior-face calls before any volume work
 }
 
 func newCountKernel(m *Mesh) *countKernel {
 	return &countKernel{
-		m:       m,
-		volSeen: make([]atomic.Int32, m.NumLocal),
-		intSeen: make([]atomic.Int32, len(m.Links)),
-		bndSeen: make([]atomic.Int32, len(m.Links)),
+		m:        m,
+		volSeen:  make([]atomic.Int32, m.NumLocal),
+		intSeen:  make([]atomic.Int32, len(m.Links)),
+		bndSeen:  make([]atomic.Int32, len(m.Links)),
+		liftSeen: make([]atomic.Int32, len(m.Links)),
 	}
 }
 
@@ -51,6 +53,12 @@ func (k *countKernel) InteriorFace(w *Work, links []int32) {
 func (k *countKernel) BoundaryFace(w *Work, links []int32) {
 	for _, li := range links {
 		k.bndSeen[li].Add(1)
+	}
+}
+
+func (k *countKernel) Lift(w *Work, links []int32) {
+	for _, li := range links {
+		k.liftSeen[li].Add(1)
 	}
 }
 
@@ -87,6 +95,11 @@ func TestApplyCoverage(t *testing.T) {
 					for _, li := range m.BndLinks {
 						if n := k.bndSeen[li].Load(); n != 1 {
 							t.Fatalf("w=%d p=%d blocking=%v: boundary link %d ran %d times", workers, p, blocking, li, n)
+						}
+					}
+					for li := range k.liftSeen {
+						if n := k.liftSeen[li].Load(); n != 1 {
+							t.Fatalf("w=%d p=%d blocking=%v: link %d lifted %d times", workers, p, blocking, li, n)
 						}
 					}
 				}
@@ -132,12 +145,23 @@ func (k *sumKernel) face(w *Work, links []int32) {
 		for fn := range vals {
 			vals[fn] = 0.5 * (vals[fn] + nbr[fn])
 		}
-		w.LiftFace(l, vals, k.out)
+		w.StageFace(li, 0, vals)
 	}
 }
 
 func (k *sumKernel) InteriorFace(w *Work, links []int32) { k.face(w, links) }
 func (k *sumKernel) BoundaryFace(w *Work, links []int32) { k.face(w, links) }
+
+func (k *sumKernel) Lift(w *Work, links []int32) {
+	m := k.m
+	for _, li := range links {
+		l := &m.Links[li]
+		if l.Kind == LinkBoundary {
+			continue
+		}
+		w.LiftFace(l, w.StagedFace(li, 0), k.out)
+	}
+}
 
 // applySum runs the sum kernel once on a fresh mesh and returns a bitwise
 // fingerprint of the output gathered to rank 0 (element counts per rank are
@@ -218,7 +242,7 @@ func TestBatchPartition(t *testing.T) {
 			t.Fatal("pooled mesh has no batches")
 		}
 		nextElem := 0
-		nInt, nBnd := 0, 0
+		nInt, nBnd, nLift := 0, 0, 0
 		for bi := range m.batches {
 			b := &m.batches[bi]
 			for _, e := range b.elems {
@@ -248,6 +272,15 @@ func TestBatchPartition(t *testing.T) {
 					t.Fatalf("batch %d: boundary link of element %d outside [%d,%d]", bi, e, lo, hi)
 				}
 			}
+			for _, li := range b.liftLinks {
+				if li != int32(nLift) {
+					t.Fatalf("batch %d: lift link %d out of order (want %d)", bi, li, nLift)
+				}
+				nLift++
+				if e := int(m.Links[li].Elem); e < lo || e > hi {
+					t.Fatalf("batch %d: lift link of element %d outside [%d,%d]", bi, e, lo, hi)
+				}
+			}
 		}
 		if nextElem != m.NumLocal {
 			t.Fatalf("batches cover %d elements, want %d", nextElem, m.NumLocal)
@@ -255,6 +288,9 @@ func TestBatchPartition(t *testing.T) {
 		if nInt != len(m.IntLinks) || nBnd != len(m.BndLinks) {
 			t.Fatalf("batches cover %d/%d interior and %d/%d boundary links",
 				nInt, len(m.IntLinks), nBnd, len(m.BndLinks))
+		}
+		if nLift != len(m.Links) {
+			t.Fatalf("lift windows cover %d/%d links", nLift, len(m.Links))
 		}
 	})
 }

@@ -163,12 +163,21 @@ type Mesh struct {
 	works    []*Work
 	pool     *pool.Pool
 	allElems []int32
+	allLinks []int32
 	batches  []kernelBatch
 	curK     Kernel // kernel of the Apply in progress (pool path only)
 	spanA    []string
 	spanB    []string
+	spanC    []string
 	phaseA   func(worker, batch int)
 	phaseB   func(worker, batch int)
+	phaseC   func(worker, batch int)
+
+	// Staged-flux buffer of the Apply in progress: Nf values per
+	// (link, component), written by the face hooks (StageFace) and
+	// replayed in canonical link order by the Lift hook.
+	stage   []float64
+	stageNC int
 
 	// element-sized scratch of the transfer (interpolate/project) kernels.
 	tUc, tOc, tAcc, tT1, tT2 []float64

@@ -137,6 +137,24 @@ func (w *Work) ApplyD(a int, u, out []float64) {
 	w.m.applyD1(a, u, out)
 }
 
+// StageFace stores component comp of link li's face flux into the mesh's
+// staged-flux buffer, to be replayed by the kernel's Lift hook. g holds
+// Nf values in the link's flux-point frame (the same frame LiftFace
+// consumes). Staging is a pure indexed write into the link's own slot, so
+// the face hooks may run in any order — including overlapped with the
+// ghost exchange — without perturbing the accumulation order Lift fixes.
+func (w *Work) StageFace(li int32, comp int, g []float64) {
+	copy(w.StagedFace(li, comp), g)
+}
+
+// StagedFace returns the staged flux slice of component comp of link li,
+// valid until the next Apply.
+func (w *Work) StagedFace(li int32, comp int) []float64 {
+	m := w.m
+	off := (int(li)*m.stageNC + comp) * m.Nf
+	return m.stage[off : off+m.Nf]
+}
+
 // LiftFace accumulates the surface contribution of a link into the volume
 // residual: dc[volume node] += MassInv * integral(g * phi) over the face
 // piece the link covers. g holds the flux difference at the link's flux

@@ -99,11 +99,15 @@ func (k *seisKernel) Volume(w *mangll.Work, elems []int32) {
 }
 
 func (k *seisKernel) InteriorFace(w *mangll.Work, links []int32) {
-	k.s.surfaceTerm(w, links, k.s.kQ, k.s.kDQ)
+	k.s.surfaceTerm(w, links)
 }
 
 func (k *seisKernel) BoundaryFace(w *mangll.Work, links []int32) {
-	k.s.surfaceTerm(w, links, k.s.kQ, k.s.kDQ)
+	k.s.surfaceTerm(w, links)
+}
+
+func (k *seisKernel) Lift(w *mangll.Work, links []int32) {
+	k.s.liftTerm(w, links, k.s.kDQ)
 }
 
 // NewSolver builds a solver over an existing (balanced, partitioned)
@@ -303,10 +307,11 @@ func (s *Solver) volumeTerm(w *mangll.Work, elems []int32, q, dq []float64) {
 	s.Met.AddDuration("volume", time.Since(t0))
 }
 
-// surfaceTerm accumulates the face fluxes of the given links (indices
-// into Mesh.Links) into dq. Free-surface boundary links are part of the
+// surfaceTerm computes and stages the face fluxes of the given links
+// (indices into Mesh.Links); liftTerm accumulates them afterwards in
+// canonical link order. Free-surface boundary links are part of the
 // interior set — they read only local data.
-func (s *Solver) surfaceTerm(w *mangll.Work, links []int32, q, dq []float64) {
+func (s *Solver) surfaceTerm(w *mangll.Work, links []int32) {
 	t0 := time.Now()
 	m := s.Mesh
 	nf := m.Nf
@@ -320,7 +325,7 @@ func (s *Solver) surfaceTerm(w *mangll.Work, links []int32, q, dq []float64) {
 		if l.Kind == mangll.LinkBoundary {
 			s.boundaryFlux(w, l, gAll, comp, xs, area)
 			for c := 0; c < NC; c++ {
-				s.liftComp(w, l, c, gAll[c], dq)
+				w.StageFace(li, c, gAll[c])
 			}
 			continue
 		}
@@ -353,7 +358,22 @@ func (s *Solver) surfaceTerm(w *mangll.Work, links []int32, q, dq []float64) {
 			}
 		}
 		for c := 0; c < NC; c++ {
-			s.liftComp(w, l, c, gAll[c], dq)
+			w.StageFace(li, c, gAll[c])
+		}
+	}
+	s.Met.AddDuration("surface", time.Since(t0))
+}
+
+// liftTerm accumulates the staged face fluxes of every given link —
+// interior, partition-boundary, and free-surface alike — into dq in link
+// order, making the per-element accumulation order partition-independent.
+func (s *Solver) liftTerm(w *mangll.Work, links []int32, dq []float64) {
+	t0 := time.Now()
+	m := s.Mesh
+	for _, li := range links {
+		l := &m.Links[li]
+		for c := 0; c < NC; c++ {
+			w.LiftFaceStrided(l, NC, c, w.StagedFace(li, c), dq)
 		}
 	}
 	s.Met.AddDuration("surface", time.Since(t0))
@@ -440,12 +460,6 @@ func (s *Solver) boundaryFlux(w *mangll.Work, l *mangll.FaceLink, gAll [][]float
 		gAll[1][fn] = -sa * ir * tau[1]
 		gAll[2][fn] = -sa * ir * tau[2]
 	}
-}
-
-// liftComp lifts one component's integrated face flux into dq.
-func (s *Solver) liftComp(w *mangll.Work, l *mangll.FaceLink, c int, g []float64, dq []float64) {
-	// LiftFace works on stride-1 fields; use a strided adapter.
-	w.LiftFaceStrided(l, NC, c, g, dq)
 }
 
 // Step advances one LSRK4(5) step.

@@ -61,15 +61,35 @@ type BenchEntry struct {
 }
 
 // NewManifest starts a manifest for the named command, capturing every
-// parsed flag's resolved value as the run's config.
+// parsed flag's resolved value as the run's config — the CLI drivers'
+// convenience form. Runs embedded in a long-lived process (the serve
+// scheduler's jobs) must use NewManifestConfig instead: the global flag
+// set belongs to the host process, so reading it from a job records the
+// server's command line, identically and racily, for every tenant.
 func NewManifest(command string) *Manifest {
-	m := &Manifest{
+	return NewManifestConfig(command, FlagConfig())
+}
+
+// NewManifestConfig starts a manifest for the named command with an
+// explicit config map (copied, so the caller may keep mutating its own).
+func NewManifestConfig(command string, config map[string]string) *Manifest {
+	cfg := make(map[string]string, len(config))
+	for k, v := range config {
+		cfg[k] = v
+	}
+	return &Manifest{
 		Command:   command,
-		Config:    map[string]string{},
+		Config:    cfg,
 		StartTime: time.Now(),
 	}
-	flag.Visit(func(f *flag.Flag) { m.Config[f.Name] = f.Value.String() })
-	return m
+}
+
+// FlagConfig captures every parsed flag's resolved value from the global
+// flag set: the one-process-one-run notion of config the cmd drivers use.
+func FlagConfig() map[string]string {
+	cfg := map[string]string{}
+	flag.Visit(func(f *flag.Flag) { cfg[f.Name] = f.Value.String() })
+	return cfg
 }
 
 // Finish stamps the end time and folds the server's merged snapshot into

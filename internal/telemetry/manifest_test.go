@@ -2,11 +2,15 @@ package telemetry
 
 import (
 	"encoding/json"
+	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"repro/internal/metrics"
+	"repro/internal/mpi"
 )
 
 func TestManifestFromSnapshot(t *testing.T) {
@@ -76,5 +80,75 @@ func TestManifestFromSnapshot(t *testing.T) {
 	}
 	if back.Command != "advect" || len(back.Benchmarks) != len(m.Benchmarks) {
 		t.Fatalf("round trip lost data: %+v", back)
+	}
+}
+
+// Two runs embedded concurrently in one server process must each produce
+// a manifest carrying exactly the config handed to them — nothing leaked
+// from a concurrent tenant, and nothing scraped off the process's global
+// flag set (the pre-fix behavior: flag.Visit on os.Args, shared and racy
+// across jobs).
+func TestManifestConfigIsolatedAcrossEmbeddedRuns(t *testing.T) {
+	// Make sure the global flag set has at least one visited flag to leak
+	// (the test binary's own flags are parsed by the testing package).
+	if err := flag.Set("test.timeout", flag.Lookup("test.timeout").Value.String()); err != nil {
+		t.Fatal(err)
+	}
+	global := FlagConfig()
+	if len(global) == 0 {
+		t.Fatal("expected at least one visited global flag in the test binary")
+	}
+
+	dir := t.TempDir()
+	var wg sync.WaitGroup
+	paths := make([]string, 2)
+	configs := []map[string]string{
+		{"job_steps": "8", "job_ranks": "2", "tenant": "alpha"},
+		{"job_steps": "3", "job_ranks": "5", "tenant": "beta"},
+	}
+	for i := range configs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cfg := configs[i]
+			m := NewManifestConfig(fmt.Sprintf("serve/job%d", i), cfg)
+			reg := metrics.NewSharded(2)
+			mpi.RunOpt(2, mpi.RunOptions{Metrics: reg}, func(c *mpi.Comm) {
+				mpi.AllreduceSum(c, int64(c.Rank()))
+			})
+			s := NewServer()
+			s.RegisterWorld(reg)
+			m.Finish(s)
+			paths[i] = filepath.Join(dir, fmt.Sprintf("job%d.json", i))
+			if err := m.WriteFile(paths[i]); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	for i, p := range paths {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m Manifest
+		if err := json.Unmarshal(b, &m); err != nil {
+			t.Fatal(err)
+		}
+		want := configs[i]
+		if len(m.Config) != len(want) {
+			t.Fatalf("job %d config = %v, want exactly %v", i, m.Config, want)
+		}
+		for k, v := range want {
+			if m.Config[k] != v {
+				t.Fatalf("job %d config[%s] = %q, want %q", i, k, m.Config[k], v)
+			}
+		}
+		for k := range global {
+			if _, ok := m.Config[k]; ok {
+				t.Fatalf("job %d config leaked global flag %q: %v", i, k, m.Config)
+			}
+		}
 	}
 }
